@@ -1,0 +1,124 @@
+//===- Harness.cpp - Shared benchmark harness -----------------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "mte4jni/support/ThreadPool.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace mte4jni::bench {
+
+BenchOptions BenchOptions::parse(int Argc, char **Argv) {
+  BenchOptions Options;
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    if (Arg == "--paper") {
+      Options.PaperScale = true;
+    } else if (Arg == "--quick") {
+      Options.Quick = true;
+    } else if (support::startsWith(Arg, "--threads=")) {
+      uint64_t V;
+      if (support::parseUnsigned(Arg.substr(10), V))
+        Options.Threads = static_cast<unsigned>(V);
+    } else if (support::startsWith(Arg, "--iters=")) {
+      uint64_t V;
+      if (support::parseUnsigned(Arg.substr(8), V))
+        Options.Iterations = static_cast<unsigned>(V);
+    } else if (support::startsWith(Arg, "--seed=")) {
+      uint64_t V;
+      if (support::parseUnsigned(Arg.substr(7), V))
+        Options.Seed = V;
+    } else if (Arg == "--help" || Arg == "-h") {
+      std::printf(
+          "usage: %s [--paper] [--quick] [--threads=N] [--iters=N] "
+          "[--seed=N]\n"
+          "  --paper   full paper-scale parameters (slow)\n"
+          "  --quick   smoke-test sizes\n",
+          Argv[0]);
+      std::exit(0);
+    } else if (support::startsWith(Arg, "--")) {
+      Options.ExtraFlags.emplace_back(Arg);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (try --help)\n", Argv[I]);
+      std::exit(2);
+    }
+  }
+  return Options;
+}
+
+void printBanner(const char *Title, const char *PaperArtifact,
+                 const BenchOptions &Options) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", Title);
+  std::printf("reproduces: %s\n", PaperArtifact);
+  std::printf("paper setup (Table 2): OPPO Find N2 Flip, Dimensity 9000+, "
+              "12GB, Android 14\n");
+  std::printf("this host:             x86-64 simulator, %zu hardware "
+              "threads, %s scale\n",
+              support::hardwareThreads(),
+              Options.PaperScale ? "PAPER" : (Options.Quick ? "QUICK"
+                                                            : "default"));
+  std::printf("note: absolute times are simulator times; compare SHAPES "
+              "(ordering, factors)\n");
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+double measureNanosPerRep(const std::function<uint64_t()> &Fn,
+                          uint64_t MinNanos, int MinReps) {
+  // Warm-up.
+  uint64_t Sink = Fn();
+
+  int Reps = 0;
+  support::Stopwatch Timer;
+  do {
+    Sink += Fn();
+    ++Reps;
+  } while (Timer.elapsedNanos() < MinNanos || Reps < MinReps);
+  // Keep the work observable to the optimiser.
+  asm volatile("" : : "r"(Sink));
+  return static_cast<double>(Timer.elapsedNanos()) / Reps;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> Headers,
+                           std::vector<int> Widths)
+    : Headers(std::move(Headers)), Widths(std::move(Widths)) {}
+
+void TablePrinter::printHeader() const {
+  for (size_t I = 0; I < Headers.size(); ++I)
+    std::printf("%-*s", Widths[I], Headers[I].c_str());
+  std::printf("\n");
+  printSeparator();
+}
+
+void TablePrinter::printRow(const std::vector<std::string> &Cells) const {
+  for (size_t I = 0; I < Cells.size() && I < Widths.size(); ++I)
+    std::printf("%-*s", Widths[I], Cells[I].c_str());
+  std::printf("\n");
+}
+
+void TablePrinter::printSeparator() const {
+  int Total = 0;
+  for (int W : Widths)
+    Total += W;
+  for (int I = 0; I < Total; ++I)
+    std::putchar('-');
+  std::putchar('\n');
+}
+
+std::string ratioCell(double Ratio) {
+  return support::format("%.2fx", Ratio);
+}
+
+std::string percentCell(double Percent) {
+  return support::format("%.1f%%", Percent);
+}
+
+} // namespace mte4jni::bench

@@ -1,0 +1,86 @@
+//===- Harness.h - Shared benchmark harness -----------------------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Utilities shared by the per-figure benchmark binaries: CLI flags
+/// (--paper for full paper-scale parameters, --quick for smoke runs),
+/// the Table-2-style environment banner, fixed-width table printing and
+/// repetition-controlled timing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_BENCH_HARNESS_H
+#define MTE4JNI_BENCH_HARNESS_H
+
+#include "mte4jni/api/Session.h"
+#include "mte4jni/support/Statistics.h"
+#include "mte4jni/support/StringUtils.h"
+#include "mte4jni/support/Timer.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mte4jni::bench {
+
+struct BenchOptions {
+  /// Full paper-scale parameters (64 threads x 10000 iterations etc.).
+  bool PaperScale = false;
+  /// Smoke-test sizes for CI.
+  bool Quick = false;
+  /// Overrides (0 = use the scale default).
+  unsigned Threads = 0;
+  unsigned Iterations = 0;
+  uint64_t Seed = 1;
+
+  /// Bench-specific "--name" flags that the common parser did not consume.
+  std::vector<std::string> ExtraFlags;
+
+  bool hasFlag(std::string_view Name) const {
+    for (const std::string &F : ExtraFlags)
+      if (F == Name)
+        return true;
+    return false;
+  }
+
+  /// Parses argv; prints usage and exits on --help. Unknown --flags are
+  /// collected into ExtraFlags for the individual bench to interpret.
+  static BenchOptions parse(int Argc, char **Argv);
+};
+
+/// Prints the experiment banner: what the paper used (Table 2) vs. this
+/// host, plus the benchmark's parameters.
+void printBanner(const char *Title, const char *PaperArtifact,
+                 const BenchOptions &Options);
+
+/// Runs \p Fn repeatedly until at least \p MinNanos of wall time has been
+/// observed (minimum \p MinReps repetitions) and returns nanoseconds per
+/// repetition. A volatile sink defeats dead-code elimination.
+double measureNanosPerRep(const std::function<uint64_t()> &Fn,
+                          uint64_t MinNanos = 20'000'000, int MinReps = 3);
+
+/// Simple fixed-width table printer.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Headers,
+                        std::vector<int> Widths);
+  void printHeader() const;
+  void printRow(const std::vector<std::string> &Cells) const;
+  void printSeparator() const;
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<int> Widths;
+};
+
+/// "12.34x" / "98.7%" cell helpers.
+std::string ratioCell(double Ratio);
+std::string percentCell(double Percent);
+
+} // namespace mte4jni::bench
+
+#endif // MTE4JNI_BENCH_HARNESS_H

@@ -1,0 +1,133 @@
+//===- bench_ablation_tag_on_alloc.cpp - Tag placement in the object lifecycle --------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Quantifies the design choice the paper makes implicitly: WHERE in the
+// object lifecycle to pay for tagging.
+//
+//   MTE4JNI       — tag at the JNI boundary (Algorithm 1/2): allocation
+//                   is free; each Get pays IRG + STG range + table/lock;
+//                   Release pays tag clearing. Use-after-release caught.
+//   tag-on-alloc  — tag at allocation (HWASan-style): every allocation
+//                   pays tagging (even objects never passed to native);
+//                   each Get is a single LDG; Release free; stale JNI
+//                   pointers NOT caught.
+//
+// Two workload shapes separate them:
+//   (a) JNI-hot: one array, many Get/Release cycles -> tag-on-alloc wins;
+//   (b) alloc-hot: many short-lived arrays never passed to JNI ->
+//       MTE4JNI wins (it never tags them at all).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "mte4jni/mte/Access.h"
+#include "mte4jni/rt/Trampoline.h"
+
+#include <cstdio>
+
+using namespace mte4jni;
+using namespace mte4jni::bench;
+
+namespace {
+
+/// (a) Many Get/Release cycles on one array.
+double jniHot(api::Scheme Scheme, unsigned Cycles, uint64_t MinNanos) {
+  api::SessionConfig C;
+  C.Protection = Scheme;
+  C.HeapBytes = 16ull << 20;
+  api::Session S(C);
+  api::ScopedAttach Main(S, "bench");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray A = Main.env().NewIntArray(Scope, 1024);
+
+  return measureNanosPerRep(
+      [&]() -> uint64_t {
+        return rt::callNative(
+            Main.thread(), rt::NativeKind::Regular, "jni_hot", [&] {
+              uint64_t Sum = 0;
+              for (unsigned I = 0; I < Cycles; ++I) {
+                jni::jboolean IsCopy;
+                auto P = Main.env().GetIntArrayElements(A, &IsCopy);
+                Sum += static_cast<uint32_t>(mte::load<jni::jint>(P));
+                Main.env().ReleaseIntArrayElements(A, P, jni::JNI_ABORT);
+              }
+              return Sum;
+            });
+      },
+      MinNanos);
+}
+
+/// (b) Many short-lived allocations that never cross JNI.
+double allocHot(api::Scheme Scheme, unsigned Allocs, uint64_t MinNanos) {
+  api::SessionConfig C;
+  C.Protection = Scheme;
+  C.HeapBytes = 64ull << 20;
+  api::Session S(C);
+  api::ScopedAttach Main(S, "bench");
+
+  return measureNanosPerRep(
+      [&]() -> uint64_t {
+        uint64_t Sum = 0;
+        {
+          rt::HandleScope Scope(S.runtime());
+          for (unsigned I = 0; I < Allocs; ++I) {
+            jni::jarray A = Main.env().NewIntArray(Scope, 256);
+            Sum += reinterpret_cast<uint64_t>(A) & 0xFF;
+          }
+        } // scope dies: everything just allocated becomes garbage
+        S.runtime().gc().collect();
+        return Sum;
+      },
+      MinNanos);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchOptions Options = BenchOptions::parse(Argc, Argv);
+  printBanner("bench_ablation_tag_on_alloc — where to pay for tagging",
+              "design ablation (not in the paper): Algorithm 1/2 vs "
+              "HWASan-style tag-on-allocation",
+              Options);
+
+  const uint64_t MinNanos = Options.Quick ? 3'000'000
+                            : Options.PaperScale ? 100'000'000
+                                                 : 20'000'000;
+  const unsigned Cycles = 64, Allocs = 256;
+
+  std::printf("(a) JNI-hot: %u Get/Release cycles on one 1024-int array "
+              "per rep\n",
+              Cycles);
+  double N1 = jniHot(api::Scheme::NoProtection, Cycles, MinNanos);
+  double M1 = jniHot(api::Scheme::Mte4JniSync, Cycles, MinNanos);
+  double T1 = jniHot(api::Scheme::TagOnAllocSync, Cycles, MinNanos);
+  std::printf("  no protection  %10.0f ns\n", N1);
+  std::printf("  mte4jni+sync   %10.0f ns  (%s)\n", M1,
+              ratioCell(M1 / N1).c_str());
+  std::printf("  tag-on-alloc   %10.0f ns  (%s)   <- one LDG per Get\n\n",
+              T1, ratioCell(T1 / N1).c_str());
+
+  std::printf("(b) alloc-hot: %u short-lived 256-int arrays per rep, "
+              "never passed to JNI\n",
+              Allocs);
+  double N2 = allocHot(api::Scheme::NoProtection, Allocs, MinNanos);
+  double M2 = allocHot(api::Scheme::Mte4JniSync, Allocs, MinNanos);
+  double T2 = allocHot(api::Scheme::TagOnAllocSync, Allocs, MinNanos);
+  std::printf("  no protection  %10.0f ns\n", N2);
+  std::printf("  mte4jni+sync   %10.0f ns  (%s)   <- never tags them\n",
+              M2, ratioCell(M2 / N2).c_str());
+  std::printf("  tag-on-alloc   %10.0f ns  (%s)\n\n", T2,
+              ratioCell(T2 / N2).c_str());
+
+  std::printf("shape checks: tag-on-alloc cheaper when JNI-hot: %s; "
+              "MTE4JNI cheaper when alloc-hot: %s\n",
+              T1 < M1 ? "yes" : "NO", M2 < T2 ? "yes" : "NO");
+  std::printf("(and tag-on-alloc cannot catch use-after-release — see "
+              "tests/alloc_tag_policy_test.cpp)\n");
+  return 0;
+}

@@ -1,0 +1,205 @@
+//===- bench_detection_rates.cpp - Monte-Carlo detection rates ------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// A quantitative extension of §5.2's qualitative matrix: random buggy
+// native accesses (read/write, random byte offsets around the array) are
+// executed under each scheme, and the measured detection rate is printed
+// per bug class. Expected shape:
+//
+//   no protection  — 0% everywhere.
+//   guarded copy   — near-100% for writes within the red zone; 0% for
+//                    reads and for writes past the red zone.
+//   MTE4JNI        — 100% for anything outside the array's granule
+//                    extent; 0% inside the final granule's slack (the
+//                    16-byte-granularity blind spot); use-after-release
+//                    100% (tags cleared by Algorithm 2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "mte4jni/mte/Access.h"
+#include "mte4jni/rt/Trampoline.h"
+#include "mte4jni/support/Rng.h"
+
+#include <cstdio>
+
+using namespace mte4jni;
+using namespace mte4jni::bench;
+
+namespace {
+
+enum class BugClass {
+  NearOverflowWrite, ///< write 1..N bytes past the end (red-zone range)
+  NearOverflowRead,  ///< read 1..N bytes past the end
+  FarWrite,          ///< write far past any red zone
+  Underflow,         ///< access before the array
+  SubGranuleSlack,   ///< access in the last granule's unused slack
+  UseAfterRelease,   ///< access through the stale pointer after Release
+};
+
+const char *bugClassName(BugClass B) {
+  switch (B) {
+  case BugClass::NearOverflowWrite:
+    return "near OOB write";
+  case BugClass::NearOverflowRead:
+    return "near OOB read";
+  case BugClass::FarWrite:
+    return "far OOB write";
+  case BugClass::Underflow:
+    return "underflow";
+  case BugClass::SubGranuleSlack:
+    return "sub-granule slack";
+  case BugClass::UseAfterRelease:
+    return "use-after-release";
+  }
+  return "?";
+}
+
+/// Runs one randomized buggy access; returns true when any fault was
+/// recorded.
+bool runTrial(api::Scheme Scheme, BugClass Bug, uint64_t Seed) {
+  api::SessionConfig C;
+  C.Protection = Scheme;
+  C.HeapBytes = 8 << 20;
+  C.Seed = Seed;
+  C.GuardedRedZoneBytes = 512;
+  api::Session S(C);
+  api::ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  support::Xoshiro256 Rng(Seed * 77 + unsigned(Bug));
+
+  // Pad allocations so under/overflows stay inside the PROT_MTE heap.
+  (void)Main.env().NewIntArray(Scope, 256);
+  // 18 ints = 72 payload bytes, granule extent 80.
+  jni::jarray Array = Main.env().NewIntArray(Scope, 18);
+  (void)Main.env().NewIntArray(Scope, 256);
+  const int64_t Payload = static_cast<int64_t>(Array->dataBytes());
+  const int64_t Extent =
+      static_cast<int64_t>(support::alignTo(uint64_t(Payload),
+                                            mte::kGranuleSize));
+
+  int64_t Offset = 0;
+  bool IsWrite = true;
+  switch (Bug) {
+  case BugClass::NearOverflowWrite:
+    Offset = Extent + Rng.nextInRange(0, 255);
+    break;
+  case BugClass::NearOverflowRead:
+    Offset = Extent + Rng.nextInRange(0, 255);
+    IsWrite = false;
+    break;
+  case BugClass::FarWrite:
+    Offset = Extent + 2048 + Rng.nextInRange(0, 8191);
+    break;
+  case BugClass::Underflow:
+    Offset = -Rng.nextInRange(1, 128);
+    break;
+  case BugClass::SubGranuleSlack:
+    Offset = Rng.nextInRange(Payload, Extent - 1);
+    IsWrite = Rng.nextBool();
+    break;
+  case BugClass::UseAfterRelease:
+    Offset = Rng.nextInRange(0, Payload - 1);
+    break;
+  }
+
+  rt::callNative(Main.thread(), rt::NativeKind::Regular, "buggy", [&] {
+    jni::jboolean IsCopy;
+    auto P = Main.env()
+                 .GetPrimitiveArrayCritical(Array, &IsCopy)
+                 .cast<jni::jbyte>();
+    if (Bug == BugClass::UseAfterRelease) {
+      Main.env().ReleasePrimitiveArrayCritical(Array, P.cast<void>(), 0);
+      // Under guarded copy the release free()s the C-heap copy, so a
+      // physical stale write would corrupt the host allocator (a genuine
+      // use-after-free the scheme cannot detect). Only perform the access
+      // where the buffer is the still-mapped heap payload; the
+      // copy-based scheme scores a miss either way.
+      if (S.policy().exposesDirectPointers())
+        mte::store<jni::jbyte>(P + Offset, 0x41); // stale tagged pointer
+      return 0;
+    }
+    // Under the copy-based scheme the buffer is a malloc block with
+    // 512-byte red zones: an access beyond them is a genuine host-heap
+    // corruption (exactly the §2.3 "skips the red zones" blind spot), so
+    // the simulation must not physically perform it — it is a guaranteed
+    // miss for that scheme either way.
+    bool Physical =
+        S.policy().exposesDirectPointers() ||
+        (Offset >= -int64_t(C.GuardedRedZoneBytes) &&
+         Offset < Payload + int64_t(C.GuardedRedZoneBytes));
+    if (Physical) {
+      if (IsWrite) {
+        mte::store<jni::jbyte>(P + Offset, 0x41);
+      } else {
+        volatile jni::jbyte V = mte::load<jni::jbyte>(P + Offset);
+        (void)V;
+      }
+    }
+    Main.env().ReleasePrimitiveArrayCritical(Array, P.cast<void>(), 0);
+    return 0;
+  });
+  mte::simulatedSyscall("getuid"); // flush async latches
+
+  // Only count real detections, not JNI bookkeeping errors.
+  return S.faults().countOf(mte::FaultKind::TagMismatchSync) +
+             S.faults().countOf(mte::FaultKind::TagMismatchAsync) +
+             S.faults().countOf(mte::FaultKind::GuardedCopyCorruption) >
+         0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchOptions Options = BenchOptions::parse(Argc, Argv);
+  printBanner("bench_detection_rates — Monte-Carlo detection rates",
+              "quantitative extension of §5.2 (random buggy native "
+              "accesses; guarded copy uses 512 B red zones here)",
+              Options);
+
+  unsigned Trials = Options.Iterations ? Options.Iterations
+                    : Options.Quick    ? 20u
+                    : Options.PaperScale ? 500u
+                                         : 100u;
+  std::printf("parameters: %u random trials per cell; array of 18 ints "
+              "(72 B payload, 80 B granule extent)\n\n",
+              Trials);
+
+  const api::Scheme Schemes[] = {
+      api::Scheme::NoProtection, api::Scheme::GuardedCopy,
+      api::Scheme::Mte4JniSync, api::Scheme::Mte4JniAsync};
+  const BugClass Bugs[] = {
+      BugClass::NearOverflowWrite, BugClass::NearOverflowRead,
+      BugClass::FarWrite,          BugClass::Underflow,
+      BugClass::SubGranuleSlack,   BugClass::UseAfterRelease};
+
+  TablePrinter Table({"bug class", "none", "guarded", "mte+sync",
+                      "mte+async"},
+                     {20, 9, 10, 11, 11});
+  Table.printHeader();
+  for (BugClass Bug : Bugs) {
+    std::vector<std::string> Row{bugClassName(Bug)};
+    for (api::Scheme Scheme : Schemes) {
+      unsigned Detected = 0;
+      for (unsigned T = 0; T < Trials; ++T)
+        Detected += runTrial(Scheme, Bug, Options.Seed + T) ? 1 : 0;
+      Row.push_back(percentCell(100.0 * Detected / Trials));
+    }
+    Table.printRow(Row);
+  }
+  Table.printSeparator();
+  std::printf("\nexpected: none 0%% everywhere; guarded detects only "
+              "writes within its red zone;\nMTE4JNI detects everything "
+              "except the sub-granule slack (MTE's 16-byte granularity\n"
+              "limit) — including reads, far writes, underflows and "
+              "use-after-release.\nnote the complementary blind spots: "
+              "sub-granule WRITES are the one class guarded copy\ncatches "
+              "(byte-granular red zone) and MTE4JNI cannot (granule-"
+              "granular tags).\n");
+  return 0;
+}

@@ -1,0 +1,183 @@
+//===- bench_micro_tagops.cpp - Microbenchmarks / ablations ---------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks of the primitive costs behind the
+// figures — the A1/A2 ablations of DESIGN.md:
+//
+//   * simulated MTE instructions (IRG, STG range, LDG)
+//   * checked vs unchecked load (the per-access cost MTE+Sync pays)
+//   * Algorithm 1+2 acquire/release round trips: two-tier vs global lock,
+//     single- and multi-threaded, same vs distinct objects
+//   * guarded-copy acquire/release vs MTE4JNI acquire/release per size
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/core/TagAllocator.h"
+#include "mte4jni/guarded/GuardedCopy.h"
+#include "mte4jni/mte/Access.h"
+#include "mte4jni/mte/Instructions.h"
+#include "mte4jni/mte/MteSystem.h"
+#include "mte4jni/mte/TaggedArena.h"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace mte4jni;
+
+/// Shared PROT_MTE arena for all microbenchmarks.
+mte::TaggedArena &arena() {
+  static mte::TaggedArena Arena(64ull << 20);
+  return Arena;
+}
+
+void BM_IrgTag(benchmark::State &State) {
+  mte::MteSystem::instance().setProcessCheckMode(mte::CheckMode::None);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(mte::irgTag());
+}
+BENCHMARK(BM_IrgTag);
+
+void BM_SetTagRange(benchmark::State &State) {
+  uint64_t Bytes = static_cast<uint64_t>(State.range(0));
+  void *Buf = arena().allocate(Bytes);
+  auto P = mte::TaggedPtr<void>::fromRaw(Buf, 5);
+  for (auto _ : State)
+    mte::setTagRange(P, Bytes);
+  arena().deallocate(Buf);
+  State.SetBytesProcessed(int64_t(State.iterations()) * int64_t(Bytes));
+}
+BENCHMARK(BM_SetTagRange)->Range(16, 16 << 10);
+
+void BM_LdgTag(benchmark::State &State) {
+  void *Buf = arena().allocate(64);
+  mte::setTagRange(mte::TaggedPtr<void>::fromRaw(Buf, 7), 64);
+  uint64_t Addr = reinterpret_cast<uint64_t>(Buf);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(mte::ldgTag(Addr));
+  arena().deallocate(Buf);
+}
+BENCHMARK(BM_LdgTag);
+
+/// The per-access cost comparison behind Figure 5: unchecked fast path
+/// (checks disabled) vs fully checked load.
+void BM_LoadUnchecked(benchmark::State &State) {
+  mte::MteSystem::instance().setProcessCheckMode(mte::CheckMode::None);
+  auto *Buf = static_cast<int32_t *>(arena().allocate(4096));
+  auto P = mte::TaggedPtr<int32_t>::fromRaw(Buf, 0);
+  int I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(mte::load<int32_t>(P + (I & 1023)));
+    ++I;
+  }
+  arena().deallocate(Buf);
+}
+BENCHMARK(BM_LoadUnchecked);
+
+void BM_LoadCheckedSync(benchmark::State &State) {
+  mte::MteSystem::instance().setProcessCheckMode(mte::CheckMode::Sync);
+  mte::ThreadState::current().setTco(false);
+  auto *Buf = static_cast<int32_t *>(arena().allocate(4096));
+  auto P = mte::TaggedPtr<int32_t>::fromRaw(Buf, 9);
+  mte::setTagRange(P.cast<void>(), 4096);
+  int I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(mte::load<int32_t>(P + (I & 1023)));
+    ++I;
+  }
+  mte::clearTagRange(reinterpret_cast<uint64_t>(Buf), 4096);
+  arena().deallocate(Buf);
+  mte::MteSystem::instance().setProcessCheckMode(mte::CheckMode::None);
+}
+BENCHMARK(BM_LoadCheckedSync);
+
+/// Algorithm 1+2 round trip, single thread.
+template <core::LockScheme Scheme>
+void BM_AcquireRelease(benchmark::State &State) {
+  core::TagAllocator Alloc(Scheme);
+  uint64_t Bytes = static_cast<uint64_t>(State.range(0));
+  void *Buf = arena().allocate(Bytes);
+  uint64_t Begin = reinterpret_cast<uint64_t>(Buf);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Alloc.acquire(Begin, Begin + Bytes));
+    Alloc.release(Begin, Begin + Bytes);
+  }
+  arena().deallocate(Buf);
+  State.SetBytesProcessed(int64_t(State.iterations()) * int64_t(Bytes));
+}
+BENCHMARK_TEMPLATE(BM_AcquireRelease, core::LockScheme::TwoTier)
+    ->Range(64, 16 << 10);
+BENCHMARK_TEMPLATE(BM_AcquireRelease, core::LockScheme::GlobalLock)
+    ->Range(64, 16 << 10);
+
+/// Multi-threaded contention ablation: every benchmark thread hammers its
+/// OWN object — the Figure 6 "different array" scenario where the global
+/// lock hurts and the two-tier scheme spreads load over shards.
+template <core::LockScheme Scheme>
+void BM_AcquireReleaseMT(benchmark::State &State) {
+  static core::TagAllocator *Alloc;
+  static void *Blocks[64];
+  if (State.thread_index() == 0) {
+    Alloc = new core::TagAllocator(Scheme);
+    for (int T = 0; T < State.threads(); ++T)
+      Blocks[T] = arena().allocate(4096);
+  }
+  uint64_t Begin =
+      reinterpret_cast<uint64_t>(Blocks[State.thread_index()]);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Alloc->acquire(Begin, Begin + 4096));
+    Alloc->release(Begin, Begin + 4096);
+  }
+  if (State.thread_index() == 0) {
+    for (int T = 0; T < State.threads(); ++T)
+      arena().deallocate(Blocks[T]);
+    delete Alloc;
+  }
+}
+BENCHMARK_TEMPLATE(BM_AcquireReleaseMT, core::LockScheme::TwoTier)
+    ->Threads(8)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(BM_AcquireReleaseMT, core::LockScheme::GlobalLock)
+    ->Threads(8)
+    ->UseRealTime();
+
+/// Guarded copy get/release vs MTE4JNI get/release — the core asymmetry
+/// behind Figure 5 (copy + red zones vs tag-per-granule).
+void BM_GuardedCopyRoundTrip(benchmark::State &State) {
+  guarded::GuardedCopyPolicy Policy;
+  uint64_t Bytes = static_cast<uint64_t>(State.range(0));
+  std::vector<uint8_t> Payload(Bytes, 0x5A);
+  jni::JniBufferInfo Info;
+  Info.DataBegin = reinterpret_cast<uint64_t>(Payload.data());
+  Info.Bytes = Bytes;
+  Info.Interface = "bench";
+  for (auto _ : State) {
+    bool IsCopy;
+    uint64_t Bits = Policy.acquire(Info, IsCopy);
+    Policy.release(Info, Bits, 0);
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) * int64_t(Bytes));
+}
+BENCHMARK(BM_GuardedCopyRoundTrip)->Range(64, 16 << 10);
+
+void BM_Mte4JniRoundTrip(benchmark::State &State) {
+  core::TagAllocator Alloc(core::LockScheme::TwoTier);
+  uint64_t Bytes = static_cast<uint64_t>(State.range(0));
+  void *Buf = arena().allocate(Bytes);
+  uint64_t Begin = reinterpret_cast<uint64_t>(Buf);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Alloc.acquire(Begin, Begin + Bytes));
+    Alloc.release(Begin, Begin + Bytes);
+  }
+  arena().deallocate(Buf);
+  State.SetBytesProcessed(int64_t(State.iterations()) * int64_t(Bytes));
+}
+BENCHMARK(BM_Mte4JniRoundTrip)->Range(64, 16 << 10);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+//===- image_pipeline.cpp - A camera-app style JNI pipeline ---------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// A realistic Android scenario: a "camera app" keeps frames in Java int
+// arrays and hands them to native image-processing stages over JNI —
+// exactly the pattern the paper's §5.4 workloads model. The pipeline runs
+// under MTE4JNI+Sync to show that a real multi-stage native workload is
+// unaffected by the protection, and then a buggy filter stage (classic
+// off-by-one on the last row) is caught immediately.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/api/Session.h"
+#include "mte4jni/mte/Access.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+using namespace mte4jni;
+
+namespace {
+
+constexpr int kW = 128;
+constexpr int kH = 96;
+
+/// Native stage 1: exposure adjustment, in place via the JNI pointer.
+void nativeExposure(jni::JniEnv &Env, jni::jintArray Frame, double Gain) {
+  jni::jboolean IsCopy;
+  auto Px = Env.GetIntArrayElements(Frame, &IsCopy);
+  for (int I = 0; I < kW * kH; ++I) {
+    uint32_t P = static_cast<uint32_t>(mte::load<jni::jint>(Px + I));
+    auto Scale = [Gain](uint32_t C) {
+      return static_cast<uint32_t>(std::min(255.0, C * Gain));
+    };
+    uint32_t R = Scale((P >> 16) & 0xFF), G = Scale((P >> 8) & 0xFF),
+             B = Scale(P & 0xFF);
+    mte::store<jni::jint>(
+        Px + I, static_cast<jni::jint>(0xFF000000u | (R << 16) | (G << 8) |
+                                       B));
+  }
+  Env.ReleaseIntArrayElements(Frame, Px, 0);
+}
+
+/// Native stage 2: 3x3 box blur, bulk in/out (the boundary-traffic style).
+void nativeBlur(jni::JniEnv &Env, jni::jintArray Frame) {
+  jni::jboolean IsCopy;
+  auto Px = Env.GetIntArrayElements(Frame, &IsCopy);
+  std::vector<uint32_t> In(kW * kH);
+  mte::readBytes(In.data(), Px.cast<const void>(), In.size() * 4);
+
+  std::vector<uint32_t> Out = In;
+  for (int Y = 1; Y < kH - 1; ++Y) {
+    for (int X = 1; X < kW - 1; ++X) {
+      uint32_t R = 0, G = 0, B = 0;
+      for (int DY = -1; DY <= 1; ++DY)
+        for (int DX = -1; DX <= 1; ++DX) {
+          uint32_t P = In[(Y + DY) * kW + X + DX];
+          R += (P >> 16) & 0xFF;
+          G += (P >> 8) & 0xFF;
+          B += P & 0xFF;
+        }
+      Out[Y * kW + X] =
+          0xFF000000u | ((R / 9) << 16) | ((G / 9) << 8) | (B / 9);
+    }
+  }
+  mte::writeBytes(Px.cast<void>(), Out.data(), Out.size() * 4);
+  Env.ReleaseIntArrayElements(Frame, Px, 0);
+}
+
+/// Native stage 3 — the buggy one: a vignette pass whose loop bound reads
+/// `<= kW*kH` instead of `<`. One element past the end.
+void nativeVignetteBuggy(jni::JniEnv &Env, jni::jintArray Frame) {
+  jni::jboolean IsCopy;
+  auto Px = Env.GetIntArrayElements(Frame, &IsCopy);
+  for (int I = 0; I <= kW * kH; ++I) { // BUG: <= walks one past the end
+    uint32_t P = static_cast<uint32_t>(mte::load<jni::jint>(Px + I));
+    mte::store<jni::jint>(Px + I,
+                          static_cast<jni::jint>(P & 0xFFEFEFEF));
+  }
+  Env.ReleaseIntArrayElements(Frame, Px, 0);
+}
+
+} // namespace
+
+int main() {
+  api::SessionConfig Config;
+  Config.Protection = api::Scheme::Mte4JniSync;
+  api::Session S(Config);
+  api::ScopedAttach Main(S, "camera-app");
+  rt::HandleScope Scope(S.runtime());
+
+  // A synthetic frame.
+  jni::jintArray Frame = Main.env().NewIntArray(Scope, kW * kH);
+  auto *Px = rt::arrayData<jni::jint>(Frame);
+  for (int Y = 0; Y < kH; ++Y)
+    for (int X = 0; X < kW; ++X)
+      Px[Y * kW + X] = static_cast<jni::jint>(
+          0xFF000000u | ((X * 2) << 16) | ((Y * 2) << 8) | 0x80);
+
+  std::printf("running the 2-stage native pipeline under %s...\n",
+              api::schemeName(S.scheme()));
+  rt::callNative(Main.thread(), rt::NativeKind::Regular, "stage_exposure",
+                 [&] { nativeExposure(Main.env(), Frame, 1.15); return 0; });
+  rt::callNative(Main.thread(), rt::NativeKind::Regular, "stage_blur",
+                 [&] { nativeBlur(Main.env(), Frame); return 0; });
+  std::printf("pipeline ok, %llu faults (expected 0)\n\n",
+              static_cast<unsigned long long>(S.faults().totalCount()));
+
+  std::printf("now running the buggy vignette stage (off-by-one on the "
+              "frame)...\n");
+  rt::callNative(Main.thread(), rt::NativeKind::Regular, "stage_vignette",
+                 [&] { nativeVignetteBuggy(Main.env(), Frame); return 0; });
+
+  auto Faults = S.faults().snapshot();
+  std::printf("%zu fault(s) — first report:\n\n", Faults.size());
+  if (!Faults.empty())
+    std::printf("%s\n", Faults[0].str().c_str());
+  return Faults.empty() ? 1 : 0;
+}

@@ -1,0 +1,73 @@
+//===- quickstart.cpp - Five-minute tour of the library -------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The smallest end-to-end use of the public API:
+//   1. start a Session under the MTE4JNI+Sync scheme,
+//   2. create a Java int array,
+//   3. call a "native method" that works on it through JNI,
+//   4. watch an out-of-bounds write get caught with a precise report.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/api/Session.h"
+#include "mte4jni/mte/Access.h"
+
+#include <cstdio>
+
+using namespace mte4jni;
+
+int main() {
+  // 1. A session wires the runtime + JNI check policy for one of the
+  // paper's four schemes. Mte4JniSync = tags + synchronous checking.
+  api::SessionConfig Config;
+  Config.Protection = api::Scheme::Mte4JniSync;
+  api::Session S(Config);
+
+  // Attach this thread as a Java thread and get its JNI environment.
+  api::ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+
+  // 2. A Java int[18], like Figure 3 of the paper.
+  jni::jintArray Array = Main.env().NewIntArray(Scope, 18);
+
+  // 3. Call a native method. The trampoline flips the thread's TCO
+  // register so tag checks are live exactly while native code runs.
+  rt::callNative(Main.thread(), rt::NativeKind::Regular, "sum_array", [&] {
+    jni::jboolean IsCopy;
+    auto Elems = Main.env().GetIntArrayElements(Array, &IsCopy);
+    std::printf("GetIntArrayElements returned %p (pointer tag %u, "
+                "isCopy=%d)\n",
+                reinterpret_cast<void *>(Elems.address()), Elems.tag(),
+                int(IsCopy));
+
+    // In-bounds work is unaffected.
+    for (int I = 0; I < 18; ++I)
+      mte::store<jni::jint>(Elems + I, I * I);
+    long Sum = 0;
+    for (int I = 0; I < 18; ++I)
+      Sum += mte::load<jni::jint>(Elems + I);
+    std::printf("sum of squares 0..17 = %ld\n", Sum);
+
+    // 4. The bug: index 21 of an 18-element array. The granule behind
+    // the array carries a different tag, so the store faults instantly.
+    std::printf("\nnow writing out of bounds at index 21...\n");
+    mte::store<jni::jint>(Elems + 21, 0xDEAD);
+
+    Main.env().ReleaseIntArrayElements(Array, Elems, 0);
+    return 0;
+  });
+
+  // Inspect what the MTE system caught.
+  auto Faults = S.faults().snapshot();
+  std::printf("\n%zu fault(s) recorded:\n", Faults.size());
+  for (const auto &F : Faults)
+    std::printf("%s\n", F.str().c_str());
+
+  std::printf("quickstart done — see examples/detect_overflow.cpp for the "
+              "full §5.2 comparison.\n");
+  return Faults.size() == 1 ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+//===- trace_capture.cpp - Capture a Perfetto-loadable trace ------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs a short MTE4JNI workload with the systrace-style recorder enabled
+// and writes mte4jni_trace.json — open it in chrome://tracing or
+// https://ui.perfetto.dev to see the JNI Get/Release slices, tag
+// allocator activity and GC pauses on a timeline, the way an Android
+// engineer would profile the real thing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/api/Session.h"
+#include "mte4jni/mte/Access.h"
+#include "mte4jni/support/TraceEvents.h"
+#include "mte4jni/workloads/Workload.h"
+
+#include <cstdio>
+
+using namespace mte4jni;
+
+int main() {
+  support::TraceRecorder::clear();
+  support::TraceRecorder::setEnabled(true);
+
+  {
+    api::SessionConfig Config;
+    Config.Protection = api::Scheme::Mte4JniSync;
+    Config.BackgroundGc = true;
+    Config.GcIntervalMillis = 2;
+    api::Session S(Config);
+    api::ScopedAttach Main(S, "main");
+    rt::HandleScope Scope(S.runtime());
+
+    // A few JNI-heavy rounds plus a workload, so the trace has texture.
+    jni::jarray A = Main.env().NewIntArray(Scope, 4096);
+    for (int Round = 0; Round < 20; ++Round) {
+      rt::callNative(Main.thread(), rt::NativeKind::Regular, "round", [&] {
+        jni::jboolean IsCopy;
+        auto P = Main.env().GetIntArrayElements(A, &IsCopy);
+        for (int I = 0; I < 4096; I += 8)
+          mte::store<jni::jint>(P + I, I);
+        Main.env().ReleaseIntArrayElements(A, P, 0);
+        return 0;
+      });
+    }
+
+    auto W = workloads::makeWorkload("Photo Filter");
+    workloads::WorkloadContext Ctx{S, Main.env(), Main.thread(), Scope, 1};
+    W->prepare(Ctx);
+    for (int I = 0; I < 3; ++I)
+      W->run(Ctx);
+  }
+
+  support::TraceRecorder::setEnabled(false);
+  std::string Json = support::TraceRecorder::exportChromeJson();
+
+  const char *Path = "mte4jni_trace.json";
+  FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::perror("fopen");
+    return 1;
+  }
+  std::fwrite(Json.data(), 1, Json.size(), F);
+  std::fclose(F);
+
+  std::printf("captured %zu events -> %s (%zu bytes)\n",
+              support::TraceRecorder::size(), Path, Json.size());
+  std::printf("open in chrome://tracing or https://ui.perfetto.dev\n");
+  support::TraceRecorder::clear();
+  return 0;
+}

@@ -1,0 +1,154 @@
+//===- Session.h - One-stop façade over the protection schemes -------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Session wires the whole stack — MTE simulator configuration, runtime
+/// (heap alignment, PROT_MTE, trampoline TCO behaviour), and JNI check
+/// policy — for one of the schemes the paper evaluates (§5.1):
+///
+///   Scheme::NoProtection — checking disabled (Android production default)
+///   Scheme::GuardedCopy  — CheckJNI guarded copy
+///   Scheme::Mte4JniSync  — MTE4JNI, synchronous TCF
+///   Scheme::Mte4JniAsync — MTE4JNI, asynchronous TCF
+///
+/// Typical use:
+///
+/// \code
+///   api::Session S({.Protection = api::Scheme::Mte4JniSync});
+///   api::ScopedAttach Main(S, "main");
+///   rt::HandleScope Scope(S.runtime());
+///   jni::jintArray A = Main.env().NewIntArray(Scope, 18);
+///   rt::callNative(Main.thread(), rt::NativeKind::Regular, "my_native",
+///                  [&] { ... Main.env().GetPrimitiveArrayCritical(A, ...)
+///                  ... });
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_API_SESSION_H
+#define MTE4JNI_API_SESSION_H
+
+#include "mte4jni/core/Mte4JniPolicy.h"
+#include "mte4jni/guarded/GuardedCopy.h"
+#include "mte4jni/mte/Fault.h"
+#include "mte4jni/jni/JniEnv.h"
+#include "mte4jni/jni/PolicyNone.h"
+#include "mte4jni/rt/Runtime.h"
+#include "mte4jni/rt/Trampoline.h"
+
+#include <memory>
+#include <string>
+
+namespace mte4jni::api {
+
+enum class Scheme : uint8_t {
+  NoProtection,
+  GuardedCopy,
+  Mte4JniSync,
+  Mte4JniAsync,
+  /// Design ablation (not in the paper): HWASan-style tag-on-allocation
+  /// with synchronous checking — see core/AllocTagPolicy.h.
+  TagOnAllocSync,
+};
+
+const char *schemeName(Scheme S);
+
+struct SessionConfig {
+  Scheme Protection = Scheme::NoProtection;
+
+  /// Lock scheme for the MTE4JNI tag allocator (Figure 6's ablation).
+  core::LockScheme Locks = core::LockScheme::TwoTier;
+  /// k, the number of tag hash tables.
+  unsigned NumHashTables = 16;
+  /// Optional hardening: exclude neighbouring granules' tags in IRG so
+  /// adjacent-object overflows are deterministically caught.
+  bool ExcludeAdjacentTags = false;
+
+  uint64_t HeapBytes = 64ull << 20;
+  /// 0 = pick automatically (16 under MTE4JNI per §4.1, else 8).
+  unsigned HeapAlignment = 0;
+
+  /// Guarded-copy red-zone size per side.
+  uint64_t GuardedRedZoneBytes = 2048;
+
+  bool BackgroundGc = false;
+  uint32_t GcIntervalMillis = 5;
+  bool GcVerifiesBodies = true;
+  /// Correct §3.3 behaviour (default). Set false to reproduce the
+  /// spurious-fault failure mode of a GC whose checks are left enabled.
+  bool GcSuppressTagChecks = true;
+
+  uint64_t Seed = 1;
+};
+
+/// Owns the runtime + policy for one protection scheme.
+class Session {
+public:
+  explicit Session(const SessionConfig &Config);
+  ~Session();
+
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  const SessionConfig &config() const { return Config; }
+  Scheme scheme() const { return Config.Protection; }
+
+  rt::Runtime &runtime() { return *Runtime; }
+  jni::CheckPolicy &policy() { return *Policy; }
+
+  /// The MTE4JNI policy, or nullptr for non-MTE schemes.
+  core::Mte4JniPolicy *mtePolicy() { return MtePolicy; }
+  /// The guarded-copy policy, or nullptr otherwise.
+  guarded::GuardedCopyPolicy *guardedPolicy() { return GuardedPolicy; }
+
+  /// Creates a JNI environment (use one per thread, like real JNI).
+  std::unique_ptr<jni::JniEnv> makeEnv() {
+    return std::make_unique<jni::JniEnv>(*Runtime, *Policy);
+  }
+
+  /// Fault log of the underlying MTE system.
+  mte::FaultLog &faults();
+
+  /// Human-readable end-of-run summary: heap, GC, MTE-instruction and
+  /// policy statistics. Handy at the end of examples and benchmarks.
+  std::string statsReport() const;
+
+private:
+  SessionConfig Config;
+  std::unique_ptr<rt::Runtime> Runtime;
+  std::unique_ptr<jni::CheckPolicy> Policy;
+  core::Mte4JniPolicy *MtePolicy = nullptr;
+  guarded::GuardedCopyPolicy *GuardedPolicy = nullptr;
+};
+
+/// RAII: attach the current thread to a session's runtime and give it an
+/// env; detaches on destruction.
+class ScopedAttach {
+public:
+  ScopedAttach(Session &S, std::string Name,
+               rt::ThreadKind Kind = rt::ThreadKind::Mutator)
+      : S(S), Thread(S.runtime().attachCurrentThread(std::move(Name), Kind)),
+        Env(S.makeEnv()) {}
+
+  ~ScopedAttach() { S.runtime().detachCurrentThread(); }
+
+  ScopedAttach(const ScopedAttach &) = delete;
+  ScopedAttach &operator=(const ScopedAttach &) = delete;
+
+  rt::JavaThread &thread() { return Thread; }
+  jni::JniEnv &env() { return *Env; }
+  Session &session() { return S; }
+
+private:
+  Session &S;
+  rt::JavaThread &Thread;
+  std::unique_ptr<jni::JniEnv> Env;
+};
+
+} // namespace mte4jni::api
+
+#endif // MTE4JNI_API_SESSION_H

@@ -1,0 +1,64 @@
+//===- AllocTagPolicy.h - Tag-on-allocation design ablation -----------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A design-space ablation the paper implicitly rejects: instead of
+/// tagging objects when a JNI interface exposes them (Algorithm 1) and
+/// untagging on release (Algorithm 2), tag every object ONCE at heap
+/// allocation (HWASan-style) and keep the tag for the object's lifetime.
+///
+///   + Get/Release become a single LDG / a no-op: no reference counting,
+///     no hash tables, no locks — the Figure 6 contention problem
+///     disappears by construction.
+///   - Use-after-release detection is lost (the tag never changes while
+///     the object lives), and every allocation pays tagging whether or
+///     not native code ever sees the object — expensive for
+///     allocation-heavy workloads whose objects never cross JNI.
+///   - Support threads (GC) must run checks-suppressed for their whole
+///     life, since the heap is permanently multicoloured.
+///
+/// The ablation bench (bench_ablation_tag_on_alloc) quantifies the
+/// trade-off; the policy itself lives here so tests can pin its exact
+/// detection envelope against MTE4JNI's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_CORE_ALLOCTAGPOLICY_H
+#define MTE4JNI_CORE_ALLOCTAGPOLICY_H
+
+#include "mte4jni/jni/CheckPolicy.h"
+#include "mte4jni/mte/TaggedArena.h"
+
+namespace mte4jni::core {
+
+class AllocTagPolicy final : public jni::CheckPolicy {
+public:
+  explicit AllocTagPolicy(uint64_t ScratchArenaBytes = 8ull << 20);
+
+  const char *name() const override { return "tag-on-alloc"; }
+
+  /// The object was tagged at allocation: just read the tag back (LDG)
+  /// and hand out the retagged pointer.
+  uint64_t acquire(const jni::JniBufferInfo &Info, bool &IsCopy) override;
+
+  /// Nothing to do — the tag lives as long as the object.
+  void release(const jni::JniBufferInfo &Info, uint64_t NativeBits,
+               jni::jint Mode) override;
+
+  uint64_t acquireScratch(uint64_t Bytes, const char *Interface) override;
+  void releaseScratch(uint64_t NativeBits, uint64_t Bytes,
+                      const char *Interface) override;
+
+  bool exposesDirectPointers() const override { return true; }
+
+private:
+  mte::TaggedArena Scratch;
+};
+
+} // namespace mte4jni::core
+
+#endif // MTE4JNI_CORE_ALLOCTAGPOLICY_H

@@ -1,0 +1,62 @@
+//===- JniTypes.h - JNI primitive and reference types ----------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JNI type vocabulary, matching the Java Native Interface
+/// specification's primitive widths. Reference types are ObjectHeader
+/// pointers in this runtime (it has no indirection table; objects never
+/// move).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_JNI_JNITYPES_H
+#define MTE4JNI_JNI_JNITYPES_H
+
+#include "mte4jni/rt/Object.h"
+
+#include <cstdint>
+
+namespace mte4jni::jni {
+
+using jboolean = uint8_t;
+using jbyte = int8_t;
+using jchar = uint16_t;
+using jshort = int16_t;
+using jint = int32_t;
+using jlong = int64_t;
+using jfloat = float;
+using jdouble = double;
+using jsize = jint;
+
+inline constexpr jboolean JNI_FALSE = 0;
+inline constexpr jboolean JNI_TRUE = 1;
+
+/// Release modes for Release<Type>ArrayElements.
+inline constexpr jint JNI_COMMIT = 1;
+inline constexpr jint JNI_ABORT = 2;
+
+// Reference types. This runtime's references are direct object pointers.
+using jobject = rt::ObjectHeader *;
+using jarray = rt::ObjectHeader *;
+using jstring = rt::ObjectHeader *;
+using jbooleanArray = rt::ObjectHeader *;
+using jbyteArray = rt::ObjectHeader *;
+using jcharArray = rt::ObjectHeader *;
+using jshortArray = rt::ObjectHeader *;
+using jintArray = rt::ObjectHeader *;
+using jlongArray = rt::ObjectHeader *;
+using jfloatArray = rt::ObjectHeader *;
+using jdoubleArray = rt::ObjectHeader *;
+
+/// Maps a JNI element type to its PrimType.
+template <typename T> constexpr rt::PrimType primTypeFor() {
+  return rt::PrimTypeOf<T>::value;
+}
+
+} // namespace mte4jni::jni
+
+#endif // MTE4JNI_JNI_JNITYPES_H

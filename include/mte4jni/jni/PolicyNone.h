@@ -1,0 +1,48 @@
+//===- PolicyNone.h - The "no protection" baseline -------------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's baseline: JNI out-of-bounds checking disabled (the Android
+/// production default). Get interfaces hand out the raw payload pointer;
+/// Release does nothing beyond the runtime-side bookkeeping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_JNI_POLICYNONE_H
+#define MTE4JNI_JNI_POLICYNONE_H
+
+#include "mte4jni/jni/CheckPolicy.h"
+
+namespace mte4jni::jni {
+
+class NoProtectionPolicy final : public CheckPolicy {
+public:
+  const char *name() const override { return "none"; }
+
+  uint64_t acquire(const JniBufferInfo &Info, bool &IsCopy) override {
+    IsCopy = false;
+    return Info.DataBegin;
+  }
+
+  void release(const JniBufferInfo &Info, uint64_t NativeBits,
+               jint Mode) override {
+    // Direct pointer: nothing to copy back, nothing to verify.
+    (void)Info;
+    (void)NativeBits;
+    (void)Mode;
+  }
+
+  uint64_t acquireScratch(uint64_t Bytes, const char *Interface) override;
+  void releaseScratch(uint64_t NativeBits, uint64_t Bytes,
+                      const char *Interface) override;
+
+  bool exposesDirectPointers() const override { return true; }
+};
+
+} // namespace mte4jni::jni
+
+#endif // MTE4JNI_JNI_POLICYNONE_H

@@ -1,0 +1,112 @@
+//===- Access.h - Tag-checked memory access ------------------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated data path. On hardware every load/store from a thread with
+/// checks enabled compares the pointer's logical tag against the granule's
+/// allocation tag. Simulated native code performs its Java-heap accesses
+/// through mte::load / mte::store (or CheckedSpan), which reproduce that
+/// check. The fast path — checks disabled — is a thread-local flag test, so
+/// the "no protection" baseline measured by the benchmarks is honest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_MTE_ACCESS_H
+#define MTE4JNI_MTE_ACCESS_H
+
+#include "mte4jni/mte/TaggedPtr.h"
+#include "mte4jni/mte/ThreadState.h"
+
+#include <cstring>
+#include <type_traits>
+
+namespace mte4jni::mte {
+
+namespace detail {
+/// Out-of-line tag check; called only when the current thread has checks
+/// enabled. Performs the granule compare and fault delivery/latching.
+void checkAccessSlow(ThreadState &TS, uint64_t Bits, uint32_t Size,
+                     bool IsWrite);
+
+M4J_ALWAYS_INLINE void maybeCheck(uint64_t Bits, uint32_t Size,
+                                  bool IsWrite) {
+  ThreadState &TS = ThreadState::current();
+  if (M4J_LIKELY(!TS.checksOn()))
+    return;
+  checkAccessSlow(TS, Bits, Size, IsWrite);
+}
+} // namespace detail
+
+/// Tag-checked load of a T through a tagged pointer. (T may be
+/// const-qualified; the value type returned is the unqualified T.)
+template <typename T>
+M4J_ALWAYS_INLINE std::remove_const_t<T> load(TaggedPtr<T> Ptr) {
+  detail::maybeCheck(Ptr.bits(), sizeof(T), /*IsWrite=*/false);
+  return *Ptr.raw();
+}
+
+/// Tag-checked store of a T through a tagged pointer.
+template <typename T>
+M4J_ALWAYS_INLINE void store(TaggedPtr<T> Ptr, T Value) {
+  detail::maybeCheck(Ptr.bits(), sizeof(T), /*IsWrite=*/true);
+  *Ptr.raw() = Value;
+}
+
+/// Tag-checked bulk copy. Checks once per touched granule (hardware checks
+/// every access, but the per-granule tag can only change at granule
+/// boundaries, so this is equivalent detection-wise).
+void copyBytes(TaggedPtr<void> Dst, TaggedPtr<const void> Src,
+               uint64_t Bytes);
+
+/// Tag-checked bulk fill.
+void fillBytes(TaggedPtr<void> Dst, uint8_t Value, uint64_t Bytes);
+
+/// Performs the tag checks for a read (resp. write) of [Ptr, Ptr+Bytes)
+/// without moving any data. Native loops that stream over a buffer can
+/// check the whole range once and then access raw memory — the simulator's
+/// cost-faithful stand-in for hardware MTE, whose per-access checks ride
+/// along with the accesses at no visible marginal cost.
+void checkReadRange(TaggedPtr<const void> Ptr, uint64_t Bytes);
+void checkWriteRange(TaggedPtr<void> Ptr, uint64_t Bytes);
+
+/// Tag-checked read into untagged host memory.
+void readBytes(void *HostDst, TaggedPtr<const void> Src, uint64_t Bytes);
+
+/// Tag-checked write from untagged host memory.
+void writeBytes(TaggedPtr<void> Dst, const void *HostSrc, uint64_t Bytes);
+
+/// A length-carrying view over tagged memory; the convenience wrapper
+/// simulated native methods use. Deliberately performs NO bounds checking
+/// of its own — out-of-bounds indices are exactly the illicit accesses the
+/// paper is about, and whether they are caught depends on the active
+/// protection scheme.
+template <typename T> class CheckedSpan {
+public:
+  CheckedSpan() = default;
+  CheckedSpan(TaggedPtr<T> Base, uint64_t Length)
+      : Base(Base), Length(Length) {}
+
+  uint64_t size() const { return Length; }
+  TaggedPtr<T> data() const { return Base; }
+
+  T get(uint64_t Index) const { return load<T>(Base + ptrdiff_t(Index)); }
+  void set(uint64_t Index, T Value) {
+    store<T>(Base + ptrdiff_t(Index), Value);
+  }
+
+private:
+  TaggedPtr<T> Base;
+  uint64_t Length = 0;
+};
+
+/// Announces a simulated syscall on this thread; async MTE faults latched
+/// in the TFSR are delivered here (paper Figure 4c shows getuid()).
+void simulatedSyscall(const char *Name);
+
+} // namespace mte4jni::mte
+
+#endif // MTE4JNI_MTE_ACCESS_H

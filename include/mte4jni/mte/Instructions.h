@@ -1,0 +1,59 @@
+//===- Instructions.h - Simulated MTE instruction set ---------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function-level analogs of the ARMv8.5-A MTE instructions the paper's
+/// Algorithm 1 names: IRG (insert random tag), LDG (load allocation tag),
+/// STG/ST2G (store allocation tag for one/two granules), plus the bulk
+/// helpers a runtime builds on top of them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_MTE_INSTRUCTIONS_H
+#define MTE4JNI_MTE_INSTRUCTIONS_H
+
+#include "mte4jni/mte/TaggedPtr.h"
+
+#include <cstdint>
+
+namespace mte4jni::mte {
+
+/// IRG: returns \p Ptr re-tagged with a random tag not present in
+/// \p ExtraExclude or the system GCR exclude mask. With all 16 tags
+/// excluded the result is tag 0 (hardware behaviour).
+TaggedPtr<void> irg(TaggedPtr<void> Ptr, uint16_t ExtraExclude = 0);
+
+/// Convenience: a random tag subject to the exclusion masks.
+TagValue irgTag(uint16_t ExtraExclude = 0);
+
+/// LDG: reads the allocation tag of the granule addressed by \p Ptr and
+/// returns \p Ptr carrying that tag. Addresses outside any registered
+/// region read tag 0.
+TaggedPtr<void> ldg(TaggedPtr<void> Ptr);
+
+/// Allocation tag of the granule containing \p Addr (0 outside regions).
+TagValue ldgTag(uint64_t Addr);
+
+/// STG: stores \p Ptr's logical tag as the allocation tag of its granule.
+/// Ignored (like a tag store to non-PROT_MTE memory faulting — here we
+/// assert) outside registered regions.
+void stg(TaggedPtr<void> Ptr);
+
+/// ST2G: tags two consecutive granules starting at \p Ptr.
+void st2g(TaggedPtr<void> Ptr);
+
+/// Tags every granule overlapping [Ptr, Ptr+Bytes) with Ptr's logical tag,
+/// using ST2G pairs and a trailing STG exactly as Algorithm 1 describes.
+void setTagRange(TaggedPtr<void> Ptr, uint64_t Bytes);
+
+/// Clears (sets to zero) the allocation tags of every granule overlapping
+/// [Addr, Addr+Bytes) — the release step of Algorithm 2.
+void clearTagRange(uint64_t Addr, uint64_t Bytes);
+
+} // namespace mte4jni::mte
+
+#endif // MTE4JNI_MTE_INSTRUCTIONS_H

@@ -1,0 +1,88 @@
+//===- Tag.h - MTE tag and granule constants -----------------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constants describing the ARMv8.5-A Memory Tagging Extension layout that
+/// this simulator reproduces (paper §2.1, Figure 1):
+///
+///   * memory is tagged at a 16-byte granule granularity;
+///   * tags are 4 bits wide (16 possible colours);
+///   * the pointer ("logical") tag lives in bits 56..59 of the pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_MTE_TAG_H
+#define MTE4JNI_MTE_TAG_H
+
+#include "mte4jni/support/MathExtras.h"
+
+#include <cstdint>
+
+namespace mte4jni::mte {
+
+/// A 4-bit allocation tag (0..15).
+using TagValue = uint8_t;
+
+/// Tag granule: one tag covers 16 bytes of memory.
+inline constexpr uint64_t kGranuleSize = 16;
+inline constexpr unsigned kGranuleShift = 4;
+
+/// Tag width.
+inline constexpr unsigned kTagBits = 4;
+inline constexpr unsigned kNumTags = 1u << kTagBits; // 16
+
+/// Pointer-tag placement: bits 56..59 of the 64-bit pointer.
+inline constexpr unsigned kPointerTagShift = 56;
+inline constexpr uint64_t kPointerTagMask = 0xFull << kPointerTagShift;
+
+/// Address bits actually used for addressing. With top-byte-ignore the
+/// hardware strips bits 56..63 before translation.
+inline constexpr uint64_t kAddressMask = (1ull << kPointerTagShift) - 1;
+
+/// Extracts the logical tag from raw pointer bits.
+constexpr TagValue pointerTagOf(uint64_t Bits) {
+  return static_cast<TagValue>((Bits & kPointerTagMask) >> kPointerTagShift);
+}
+
+/// Replaces the logical tag in raw pointer bits.
+constexpr uint64_t withPointerTag(uint64_t Bits, TagValue Tag) {
+  return (Bits & ~kPointerTagMask) |
+         (static_cast<uint64_t>(Tag & 0xF) << kPointerTagShift);
+}
+
+/// Strips tag (and the rest of the top byte) leaving the physical address.
+constexpr uint64_t addressOf(uint64_t Bits) { return Bits & kAddressMask; }
+
+/// Granule index of an address within a region starting at \p RegionBegin.
+constexpr uint64_t granuleIndex(uint64_t Addr, uint64_t RegionBegin) {
+  return (Addr - RegionBegin) >> kGranuleShift;
+}
+
+/// Number of granules needed to cover [Begin, End).
+constexpr uint64_t granulesCovering(uint64_t Begin, uint64_t End) {
+  uint64_t First = support::alignDown(Begin, kGranuleSize);
+  uint64_t Last = support::alignTo(End, kGranuleSize);
+  return (Last - First) >> kGranuleShift;
+}
+
+/// Tag-check behaviour, mirroring the Linux PR_MTE_TCF_* modes (§2.1).
+enum class CheckMode : uint8_t {
+  /// Tag checks disabled entirely (the "no protection" configuration).
+  None,
+  /// Synchronous: a mismatching access faults immediately with a precise
+  /// address and backtrace.
+  Sync,
+  /// Asynchronous: mismatches are latched in the thread's TFSR and
+  /// delivered at the next simulated syscall, without a faulting address.
+  Async,
+};
+
+const char *checkModeName(CheckMode Mode);
+
+} // namespace mte4jni::mte
+
+#endif // MTE4JNI_MTE_TAG_H

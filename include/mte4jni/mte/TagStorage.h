@@ -1,0 +1,113 @@
+//===- TagStorage.h - Shadow storage for granule tags --------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Real MTE keeps allocation tags in dedicated tag RAM for pages mapped
+/// with PROT_MTE. The simulator keeps one byte of shadow per 16-byte
+/// granule for every *registered* region; memory outside any registered
+/// region is unchecked, exactly like non-PROT_MTE pages on hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_MTE_TAGSTORAGE_H
+#define MTE4JNI_MTE_TAGSTORAGE_H
+
+#include "mte4jni/mte/Tag.h"
+#include "mte4jni/support/Compiler.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mte4jni::mte {
+
+/// Shadow tags for one contiguous registered (PROT_MTE) region.
+class TaggedRegion {
+public:
+  TaggedRegion(uint64_t Begin, uint64_t Size);
+
+  uint64_t begin() const { return Begin; }
+  uint64_t end() const { return End; }
+  uint64_t size() const { return End - Begin; }
+
+  bool contains(uint64_t Addr) const { return Addr >= Begin && Addr < End; }
+
+  /// Tag of the granule containing \p Addr.
+  M4J_ALWAYS_INLINE TagValue tagAt(uint64_t Addr) const {
+    return std::atomic_ref<const uint8_t>(Tags[granuleIndex(Addr, Begin)])
+        .load(std::memory_order_relaxed);
+  }
+
+  /// Sets the tag of the granule containing \p Addr.
+  void setTagAt(uint64_t Addr, TagValue Tag) {
+    std::atomic_ref<uint8_t>(Tags[granuleIndex(Addr, Begin)])
+        .store(Tag & 0xF, std::memory_order_relaxed);
+  }
+
+  /// Sets all granules overlapping [From, To) to \p Tag; returns the number
+  /// of granules written. Clamps to the region. Bulk path: a plain
+  /// vectorised fill — on hardware STG retires at store speed, so the
+  /// simulator must not pay more than a byte store per granule either.
+  uint64_t setTagRange(uint64_t From, uint64_t To, TagValue Tag);
+
+  /// Scans granules [FirstIdx, LastIdx] for any tag != \p Expected;
+  /// returns the index of the first mismatch, or UINT64_MAX when all
+  /// match. Bulk analog of per-access checks for memcpy-style transfers.
+  uint64_t findMismatch(uint64_t FirstIdx, uint64_t LastIdx,
+                        TagValue Expected) const;
+
+  uint64_t granuleCount() const { return NumGranules; }
+
+  /// Raw shadow bytes (one per granule); for diagnostics/tests.
+  const uint8_t *tagArray() const { return Tags.get(); }
+
+private:
+  uint64_t Begin;
+  uint64_t End;
+  uint64_t NumGranules;
+  // Plain bytes: single-granule accesses go through std::atomic_ref, bulk
+  // fill/scan through vectorisable loops. Concurrent tag store vs. tag
+  // check is racy on hardware too (either the old or new tag wins).
+  std::unique_ptr<uint8_t[]> Tags;
+};
+
+/// An immutable snapshot of the registered regions. Lookups are a short
+/// linear scan — a process has very few PROT_MTE regions (typically the
+/// Java heap and one native scratch arena).
+class RegionList {
+public:
+  explicit RegionList(std::vector<std::shared_ptr<TaggedRegion>> Regions)
+      : Regions(std::move(Regions)) {}
+
+  /// Region containing \p Addr, or nullptr.
+  M4J_ALWAYS_INLINE const TaggedRegion *find(uint64_t Addr) const {
+    for (const auto &Region : Regions)
+      if (Region->contains(Addr))
+        return Region.get();
+    return nullptr;
+  }
+
+  TaggedRegion *findMutable(uint64_t Addr) const {
+    for (const auto &Region : Regions)
+      if (Region->contains(Addr))
+        return Region.get();
+    return nullptr;
+  }
+
+  size_t size() const { return Regions.size(); }
+  const std::vector<std::shared_ptr<TaggedRegion>> &regions() const {
+    return Regions;
+  }
+
+private:
+  std::vector<std::shared_ptr<TaggedRegion>> Regions;
+};
+
+} // namespace mte4jni::mte
+
+#endif // MTE4JNI_MTE_TAGSTORAGE_H

@@ -1,0 +1,79 @@
+//===- TaggedArena.h - PROT_MTE native scratch allocator ------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small allocator whose backing memory is registered as a PROT_MTE
+/// region. The MTE4JNI policy uses it for the native UTF-8 buffers that
+/// GetStringUTFChars must copy out of the heap (those copies still need
+/// tagging so OOB access to them is caught), and tests use it as a
+/// convenient source of taggable memory.
+///
+/// Allocation is 16-byte aligned (granule-aligned) segregated free lists
+/// over a bump arena; thread-safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_MTE_TAGGEDARENA_H
+#define MTE4JNI_MTE_TAGGEDARENA_H
+
+#include "mte4jni/mte/Tag.h"
+#include "mte4jni/support/SpinLock.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mte4jni::mte {
+
+class TaggedArena {
+public:
+  /// Creates an arena of \p Bytes (rounded up to a granule multiple) and
+  /// registers it with the MteSystem.
+  explicit TaggedArena(uint64_t Bytes);
+  ~TaggedArena();
+
+  TaggedArena(const TaggedArena &) = delete;
+  TaggedArena &operator=(const TaggedArena &) = delete;
+
+  /// Allocates \p Bytes (16-byte aligned); returns nullptr when exhausted.
+  void *allocate(uint64_t Bytes);
+
+  /// Returns a previously allocated block to the arena.
+  void deallocate(void *Ptr);
+
+  uint64_t capacity() const { return Capacity; }
+  uint64_t bytesInUse() const;
+
+  uint64_t begin() const { return reinterpret_cast<uint64_t>(BasePtr); }
+  uint64_t end() const { return begin() + Capacity; }
+  bool contains(const void *Ptr) const {
+    uint64_t A = reinterpret_cast<uint64_t>(Ptr);
+    return A >= begin() && A < end();
+  }
+
+private:
+  static constexpr unsigned kNumSizeClasses = 24; // 16 B .. 128 MiB
+
+  static unsigned sizeClassOf(uint64_t Bytes);
+  static uint64_t sizeOfClass(unsigned Class);
+
+  std::unique_ptr<uint8_t[]> Storage; // over-allocated for alignment
+  uint8_t *BasePtr = nullptr;         // granule-aligned view into Storage
+  uint64_t Capacity = 0;
+  uint64_t BumpOffset = 0;
+  uint64_t InUse = 0;
+
+  std::vector<void *> FreeLists[kNumSizeClasses];
+  // Size class of each outstanding block, keyed by offset/16.
+  std::vector<uint8_t> BlockClass;
+
+  mutable support::SpinLock Lock;
+};
+
+} // namespace mte4jni::mte
+
+#endif // MTE4JNI_MTE_TAGGEDARENA_H

@@ -1,0 +1,145 @@
+//===- ThreadState.h - Per-thread MTE control state ----------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-thread MTE state:
+///
+///   * TCO ("Tag Check Override") system register — when set, tag checks
+///     are suppressed for this thread. This is the register the paper's
+///     trampolines flip (§3.3): cleared when a Java thread enters native
+///     code, set again on return, and left set on support threads such as
+///     the GC so their untagged pointers never fault.
+///   * TCF check mode (sync/async/none), initialised from the process
+///     default and adjustable per thread, mirroring Linux's per-thread
+///     prctl(PR_SET_TAGGED_ADDR_CTRL).
+///   * TFSR — the async-fault latch drained at simulated syscalls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_MTE_THREADSTATE_H
+#define MTE4JNI_MTE_THREADSTATE_H
+
+#include "mte4jni/mte/Tag.h"
+#include "mte4jni/support/Compiler.h"
+#include "mte4jni/support/Rng.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace mte4jni::mte {
+
+class MteSystem;
+
+class ThreadState {
+public:
+  /// The calling thread's state; lazily created and registered with the
+  /// MteSystem on first use.
+  static ThreadState &current();
+
+  // -- TCO ------------------------------------------------------------
+  /// TCO=1 suppresses tag checks (the hardware meaning).
+  void setTco(bool Suppress) {
+    Tco = Suppress;
+    refreshChecksOn();
+  }
+  bool tco() const { return Tco; }
+
+  // -- TCF ------------------------------------------------------------
+  void setCheckMode(CheckMode NewMode) {
+    Mode = NewMode;
+    refreshChecksOn();
+  }
+  CheckMode checkMode() const { return Mode; }
+
+  /// True when an access by this thread must be tag-checked.
+  M4J_ALWAYS_INLINE bool checksOn() const {
+    return ChecksOn.load(std::memory_order_relaxed);
+  }
+
+  // -- TFSR (async latch) ----------------------------------------------
+  /// Latches an async mismatch; only the first pending one keeps details.
+  void latchAsyncFault(uint64_t DebugAddress, TagValue PointerTag,
+                       TagValue MemoryTag, bool IsWrite, uint32_t Size);
+
+  bool asyncPending() const { return AsyncPending; }
+
+  /// Delivers a pending async fault (invoked from the syscall barrier on
+  /// this thread). No-op when nothing is latched.
+  void drainAsync(const char *SyscallName);
+
+  // -- statistics (thread-local, unsynchronised) -------------------------
+  uint64_t checksPerformed() const { return NumChecks; }
+  uint64_t mismatches() const { return NumMismatches; }
+  void resetCounters() {
+    NumChecks = 0;
+    NumMismatches = 0;
+  }
+
+  /// Per-thread RNG used by the IRG instruction.
+  support::Xoshiro256 &irgRng() { return IrgRng; }
+
+  uint64_t threadId() const { return Id; }
+
+  // Internal: used by the checked-access slow path.
+  void noteCheck() { ++NumChecks; }
+  void noteChecks(uint64_t N) { NumChecks += N; }
+  void noteMismatch() { ++NumMismatches; }
+
+  /// Re-reads the process default check mode (called when the process mode
+  /// changes while the thread already exists).
+  void syncModeFromProcess();
+
+private:
+  ThreadState();
+  ~ThreadState();
+  friend class MteSystem;
+
+  void refreshChecksOn() {
+    ChecksOn.store(Mode != CheckMode::None && !Tco,
+                   std::memory_order_relaxed);
+  }
+
+  bool Tco = false;
+  CheckMode Mode = CheckMode::None;
+  // Atomic because MteSystem::setProcessCheckMode may refresh it from
+  // another thread at a quiescent point.
+  std::atomic<bool> ChecksOn{false};
+
+  bool AsyncPending = false;
+  uint64_t PendingDebugAddress = 0;
+  TagValue PendingPointerTag = 0;
+  TagValue PendingMemoryTag = 0;
+  bool PendingIsWrite = false;
+  uint32_t PendingSize = 0;
+
+  uint64_t NumChecks = 0;
+  uint64_t NumMismatches = 0;
+
+  support::Xoshiro256 IrgRng;
+  uint64_t Id;
+};
+
+/// RAII: suppress (or enable) tag checks for the current scope, restoring
+/// the previous TCO value on exit — the building block trampolines use.
+class ScopedTco {
+public:
+  explicit ScopedTco(bool Suppress)
+      : Saved(ThreadState::current().tco()) {
+    ThreadState::current().setTco(Suppress);
+  }
+  ~ScopedTco() { ThreadState::current().setTco(Saved); }
+
+  ScopedTco(const ScopedTco &) = delete;
+  ScopedTco &operator=(const ScopedTco &) = delete;
+
+private:
+  bool Saved;
+};
+
+} // namespace mte4jni::mte
+
+#endif // MTE4JNI_MTE_THREADSTATE_H

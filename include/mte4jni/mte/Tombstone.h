@@ -1,0 +1,48 @@
+//===- Tombstone.h - Android-style crash report rendering -----------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a FaultRecord the way Android's debuggerd renders a crash —
+/// the full-fat version of the logcat snippets in the paper's Figure 4:
+/// header block, signal line with si_code, the backtrace, and (the part
+/// only an MTE tombstone has) a memory-tag dump around the fault address
+/// showing each granule's allocation tag so the mismatch is visible at a
+/// glance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_MTE_TOMBSTONE_H
+#define MTE4JNI_MTE_TOMBSTONE_H
+
+#include "mte4jni/mte/Fault.h"
+
+#include <string>
+
+namespace mte4jni::mte {
+
+struct TombstoneOptions {
+  /// Granules shown on each side of the fault address in the tag dump.
+  unsigned TagDumpRadius = 4;
+  /// Process/thread naming for the header.
+  std::string ProcessName = "com.example.app";
+  int Pid = 4242;
+};
+
+/// Renders \p Record as a debuggerd-style tombstone. For records without
+/// a fault address (async reports) the tag dump section explains why it
+/// is absent instead of printing one.
+std::string renderTombstone(const FaultRecord &Record,
+                            const TombstoneOptions &Options = {});
+
+/// Writes the most recent fault in the log (if any) as a tombstone to
+/// \p Out; returns false when the log is empty.
+bool renderLatestTombstone(std::string &Out,
+                           const TombstoneOptions &Options = {});
+
+} // namespace mte4jni::mte
+
+#endif // MTE4JNI_MTE_TOMBSTONE_H

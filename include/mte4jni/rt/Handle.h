@@ -1,0 +1,59 @@
+//===- Handle.h - GC root scopes ------------------------------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Handle scopes are the GC root set of the mini runtime: objects rooted in
+/// a live scope survive collection. The heap never moves objects, so a
+/// Handle is simply a rooted ObjectHeader pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_RT_HANDLE_H
+#define MTE4JNI_RT_HANDLE_H
+
+#include "mte4jni/rt/Object.h"
+
+#include <vector>
+
+namespace mte4jni::rt {
+
+class Runtime;
+
+/// A stack-discipline scope of GC roots. Registers with the Runtime on
+/// construction, unregisters on destruction.
+class HandleScope {
+public:
+  explicit HandleScope(Runtime &RT);
+  ~HandleScope();
+
+  HandleScope(const HandleScope &) = delete;
+  HandleScope &operator=(const HandleScope &) = delete;
+
+  /// Roots \p Obj for the lifetime of this scope and returns it unchanged.
+  ObjectHeader *root(ObjectHeader *Obj) {
+    if (Obj)
+      Roots.push_back(Obj);
+    return Obj;
+  }
+
+  /// Removes a previously added root (rarely needed; scopes usually just
+  /// die).
+  void unroot(ObjectHeader *Obj);
+
+  const std::vector<ObjectHeader *> &roots() const { return Roots; }
+
+  /// Mutable access for the compacting GC's root rewriting.
+  std::vector<ObjectHeader *> &mutableRoots() { return Roots; }
+
+private:
+  Runtime &RT;
+  std::vector<ObjectHeader *> Roots;
+};
+
+} // namespace mte4jni::rt
+
+#endif // MTE4JNI_RT_HANDLE_H

@@ -1,0 +1,59 @@
+//===- JavaString.h - UTF-16 string objects and UTF-8 conversion ----*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for the String object kind: construction from UTF-8/UTF-16 and
+/// the (modified-)UTF-8 conversion GetStringUTFChars performs. Surrogate
+/// pairs are handled; invalid sequences are replaced with U+FFFD, matching
+/// lenient runtime behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_RT_JAVASTRING_H
+#define MTE4JNI_RT_JAVASTRING_H
+
+#include "mte4jni/rt/Object.h"
+
+#include <string>
+#include <string_view>
+
+namespace mte4jni::rt {
+
+class JavaHeap;
+
+/// UTF-16 payload view of a String object.
+inline const uint16_t *stringChars(const ObjectHeader *Str) {
+  M4J_ASSERT(Str->kind() == ObjectKind::String, "not a string");
+  return static_cast<const uint16_t *>(Str->data());
+}
+inline uint16_t *stringChars(ObjectHeader *Str) {
+  M4J_ASSERT(Str->kind() == ObjectKind::String, "not a string");
+  return static_cast<uint16_t *>(Str->data());
+}
+
+/// Allocates a String from UTF-16 units.
+ObjectHeader *newString(JavaHeap &Heap, std::u16string_view Units);
+
+/// Allocates a String from UTF-8 bytes (invalid sequences -> U+FFFD).
+ObjectHeader *newStringUtf8(JavaHeap &Heap, std::string_view Utf8);
+
+/// Number of UTF-8 bytes the string converts to (excluding terminator).
+size_t utf8Length(const ObjectHeader *Str);
+
+/// Converts the string payload to UTF-8 into \p Out (resized to fit),
+/// without a trailing NUL.
+void toUtf8(const ObjectHeader *Str, std::string &Out);
+
+/// Decodes UTF-8 into UTF-16 units.
+std::u16string utf8ToUtf16(std::string_view Utf8);
+
+/// Encodes UTF-16 units into UTF-8.
+std::string utf16ToUtf8(std::u16string_view Units);
+
+} // namespace mte4jni::rt
+
+#endif // MTE4JNI_RT_JAVASTRING_H

@@ -1,0 +1,83 @@
+//===- JavaThread.h - Mini-ART thread states ------------------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime's view of a thread. Mutator threads move between Runnable
+/// (executing "Java" code) and InNative (inside a native method); support
+/// threads (GC) stay Runnable. The state-transition functions are the
+/// paper's §4.3 insertion point: when the runtime is configured for
+/// MTE4JNI, entering native clears TCO (enabling tag checks for exactly
+/// the code that holds raw Java-heap pointers) and leaving native sets it
+/// again.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_RT_JAVATHREAD_H
+#define MTE4JNI_RT_JAVATHREAD_H
+
+#include "mte4jni/support/Compiler.h"
+
+#include <cstdint>
+#include <string>
+
+namespace mte4jni::rt {
+
+class Runtime;
+
+enum class ThreadKind : uint8_t {
+  /// An application thread that runs Java code and calls native methods.
+  Mutator,
+  /// A runtime support thread (GC); accesses the heap with untagged
+  /// pointers and never goes through JNI trampolines.
+  GcSupport,
+};
+
+enum class JavaThreadState : uint8_t {
+  Runnable, ///< executing managed code
+  InNative, ///< inside a native method
+};
+
+class JavaThread {
+public:
+  /// The calling thread's JavaThread, or nullptr when not attached.
+  static JavaThread *currentOrNull();
+
+  /// The calling thread's JavaThread; asserts when not attached.
+  static JavaThread &current();
+
+  Runtime &runtime() const { return RT; }
+  const std::string &name() const { return Name; }
+  ThreadKind kind() const { return Kind; }
+  JavaThreadState state() const { return State; }
+
+  /// §4.3: the Java->native thread state transition. For regular native
+  /// methods the trampoline calls this, and this is where the TCO toggle
+  /// lives.
+  void transitionToNative();
+
+  /// The native->Java transition; restores TCO.
+  void transitionToRunnable();
+
+  /// Per-thread JNI critical-section nesting depth.
+  uint32_t criticalDepth() const { return CriticalDepth; }
+
+  ~JavaThread();
+
+private:
+  friend class Runtime;
+  JavaThread(Runtime &RT, std::string Name, ThreadKind Kind);
+
+  Runtime &RT;
+  std::string Name;
+  ThreadKind Kind;
+  JavaThreadState State = JavaThreadState::Runnable;
+  uint32_t CriticalDepth = 0;
+};
+
+} // namespace mte4jni::rt
+
+#endif // MTE4JNI_RT_JAVATHREAD_H

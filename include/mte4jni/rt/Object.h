@@ -1,0 +1,203 @@
+//===- Object.h - Mini-ART object model ----------------------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Java object model this runtime supports: primitive arrays and
+/// strings — exactly the object kinds the paper's Table 1 interfaces hand
+/// raw pointers out for. Every heap object starts with a 16-byte header
+/// (one MTE granule) so the payload of a granule-aligned allocation starts
+/// on its own granule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_RT_OBJECT_H
+#define MTE4JNI_RT_OBJECT_H
+
+#include "mte4jni/support/Compiler.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace mte4jni::rt {
+
+/// Java primitive element types.
+enum class PrimType : uint8_t {
+  Boolean,
+  Byte,
+  Char,
+  Short,
+  Int,
+  Long,
+  Float,
+  Double,
+};
+
+inline constexpr unsigned kNumPrimTypes = 8;
+
+/// Element size in bytes.
+constexpr size_t primSize(PrimType Type) {
+  switch (Type) {
+  case PrimType::Boolean:
+  case PrimType::Byte:
+    return 1;
+  case PrimType::Char:
+  case PrimType::Short:
+    return 2;
+  case PrimType::Int:
+  case PrimType::Float:
+    return 4;
+  case PrimType::Long:
+  case PrimType::Double:
+    return 8;
+  }
+  return 0;
+}
+
+const char *primTypeName(PrimType Type);
+
+/// Maps C++ element types onto PrimType.
+template <typename T> struct PrimTypeOf;
+template <> struct PrimTypeOf<uint8_t> {
+  static constexpr PrimType value = PrimType::Boolean;
+};
+template <> struct PrimTypeOf<int8_t> {
+  static constexpr PrimType value = PrimType::Byte;
+};
+template <> struct PrimTypeOf<uint16_t> {
+  static constexpr PrimType value = PrimType::Char;
+};
+template <> struct PrimTypeOf<int16_t> {
+  static constexpr PrimType value = PrimType::Short;
+};
+template <> struct PrimTypeOf<int32_t> {
+  static constexpr PrimType value = PrimType::Int;
+};
+template <> struct PrimTypeOf<int64_t> {
+  static constexpr PrimType value = PrimType::Long;
+};
+template <> struct PrimTypeOf<float> {
+  static constexpr PrimType value = PrimType::Float;
+};
+template <> struct PrimTypeOf<double> {
+  static constexpr PrimType value = PrimType::Double;
+};
+
+/// What kind of heap object a header describes.
+enum class ObjectKind : uint8_t {
+  /// A primitive array (element type in the header).
+  PrimArray,
+  /// A java.lang.String: payload is UTF-16 code units.
+  String,
+  /// An Object[]: payload is ObjectHeader* slots. The GC traces through
+  /// these (transitive marking) and rewrites them after compaction. JNI
+  /// never hands out raw pointers into reference arrays (they are not in
+  /// the paper's Table 1); access goes through the bounds-checked
+  /// Get/SetObjectArrayElement interfaces.
+  RefArray,
+};
+
+/// Header flags.
+enum : uint32_t {
+  kFlagMarked = 1u << 0, ///< GC mark bit.
+  // Bits 16..31: pin count (JNI Get* interfaces pin objects so the sweep
+  // phase never frees memory native code still references).
+  kPinShift = 16,
+  kPinIncrement = 1u << kPinShift,
+};
+
+/// 16-byte object header — exactly one MTE granule, so a granule-aligned
+/// object's payload begins on a fresh granule and the MTE4JNI policy can
+/// tag payload granules without touching the header granule the GC reads.
+struct ObjectHeader {
+  uint32_t ClassWord;  ///< ObjectKind | (PrimType << 8)
+  uint32_t Length;     ///< element count (array) / UTF-16 units (string)
+  uint32_t SizeBytes;  ///< full allocation size including this header
+  uint32_t Flags;      ///< mark bit + pin count
+
+  ObjectKind kind() const {
+    return static_cast<ObjectKind>(ClassWord & 0xFF);
+  }
+  PrimType elemType() const {
+    return static_cast<PrimType>((ClassWord >> 8) & 0xFF);
+  }
+
+  /// Start of the payload.
+  void *data() { return this + 1; }
+  const void *data() const { return this + 1; }
+  uint64_t dataAddress() const {
+    return reinterpret_cast<uint64_t>(this + 1);
+  }
+
+  /// Payload size in bytes (may be smaller than the allocation slack).
+  uint64_t dataBytes() const {
+    return static_cast<uint64_t>(Length) * primSize(elemType());
+  }
+
+  /// One-past-the-end of the payload.
+  uint64_t dataEnd() const { return dataAddress() + dataBytes(); }
+
+  // Flag mutations use atomic RMW: native threads pin/unpin concurrently
+  // with the GC toggling mark bits.
+
+  // -- mark bit ---------------------------------------------------------
+  bool isMarked() const {
+    return std::atomic_ref<uint32_t>(
+               const_cast<uint32_t &>(Flags)).load(std::memory_order_relaxed) &
+           kFlagMarked;
+  }
+  void setMarked(bool Marked) {
+    std::atomic_ref<uint32_t> Ref(Flags);
+    if (Marked)
+      Ref.fetch_or(kFlagMarked, std::memory_order_relaxed);
+    else
+      Ref.fetch_and(~kFlagMarked, std::memory_order_relaxed);
+  }
+
+  // -- pin count ---------------------------------------------------------
+  uint32_t pinCount() const {
+    return std::atomic_ref<uint32_t>(const_cast<uint32_t &>(Flags))
+               .load(std::memory_order_relaxed) >>
+           kPinShift;
+  }
+  void pin() {
+    M4J_ASSERT(pinCount() < 0xFFFF, "pin count overflow");
+    std::atomic_ref<uint32_t>(Flags).fetch_add(kPinIncrement,
+                                               std::memory_order_acq_rel);
+  }
+  void unpin() {
+    M4J_ASSERT(pinCount() > 0, "unpin of unpinned object");
+    std::atomic_ref<uint32_t>(Flags).fetch_sub(kPinIncrement,
+                                               std::memory_order_acq_rel);
+  }
+};
+
+static_assert(sizeof(ObjectHeader) == 16,
+              "header must occupy exactly one MTE granule");
+
+/// Builds the ClassWord for an object.
+constexpr uint32_t makeClassWord(ObjectKind Kind, PrimType Elem) {
+  return static_cast<uint32_t>(Kind) | (static_cast<uint32_t>(Elem) << 8);
+}
+
+/// Reference-array slot accessor.
+inline ObjectHeader **refArraySlots(ObjectHeader *Obj) {
+  M4J_ASSERT(Obj->kind() == ObjectKind::RefArray, "not a reference array");
+  return static_cast<ObjectHeader **>(Obj->data());
+}
+
+/// Typed payload accessor (Java-side view; unchecked host pointer).
+template <typename T> T *arrayData(ObjectHeader *Obj) {
+  M4J_ASSERT(Obj->elemType() == PrimTypeOf<T>::value ||
+                 Obj->kind() == ObjectKind::String,
+             "array element type mismatch");
+  return static_cast<T *>(Obj->data());
+}
+
+} // namespace mte4jni::rt
+
+#endif // MTE4JNI_RT_OBJECT_H

@@ -1,0 +1,136 @@
+//===- Runtime.h - Mini-ART runtime ----------------------------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime object that ties the substrate together: heap, GC, thread
+/// registry, root scopes and JNI critical-section accounting. It also owns
+/// the process-level MTE configuration (check mode, heap PROT_MTE
+/// registration) for the active protection scheme.
+///
+/// Only one Runtime may be live at a time (it configures the process-wide
+/// MTE simulator), mirroring one ART per app process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_RT_RUNTIME_H
+#define MTE4JNI_RT_RUNTIME_H
+
+#include "mte4jni/mte/Tag.h"
+#include "mte4jni/rt/Gc.h"
+#include "mte4jni/rt/Handle.h"
+#include "mte4jni/rt/Heap.h"
+#include "mte4jni/rt/JavaThread.h"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mte4jni::rt {
+
+struct RuntimeConfig {
+  HeapConfig Heap;
+  GcConfig Gc;
+
+  /// Process-wide TCF mode installed via the simulated prctl.
+  mte::CheckMode CheckMode = mte::CheckMode::None;
+
+  /// §3.3/§4.3: toggle TCO at native-code boundaries. True for the
+  /// MTE4JNI schemes; mutator threads then run with checks suppressed
+  /// except while inside native methods.
+  bool TagChecksInNative = false;
+
+  /// Seed for the MTE simulator's per-thread IRG RNGs.
+  uint64_t Seed = 1;
+};
+
+class Runtime {
+public:
+  explicit Runtime(const RuntimeConfig &Config);
+  ~Runtime();
+
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+
+  const RuntimeConfig &config() const { return Config; }
+  JavaHeap &heap() { return *Heap; }
+  GcController &gc() { return *Gc; }
+
+  // -- threads -----------------------------------------------------------
+  /// Attaches the calling thread; sets up its MTE thread state per the
+  /// active scheme (TCO suppressed outside native code).
+  JavaThread &attachCurrentThread(std::string Name,
+                                  ThreadKind Kind = ThreadKind::Mutator);
+
+  /// Detaches the calling thread (a simulated syscall boundary: thread
+  /// teardown enters the kernel).
+  void detachCurrentThread();
+
+  // -- object factory -------------------------------------------------------
+  /// Allocates and roots a primitive array (zero-initialised).
+  ObjectHeader *newPrimArray(HandleScope &Scope, PrimType Elem,
+                             uint32_t Length);
+
+  /// Allocates and roots an Object[] of null slots.
+  ObjectHeader *newRefArray(HandleScope &Scope, uint32_t Length);
+
+  /// Allocates and roots a string.
+  ObjectHeader *newString(HandleScope &Scope, std::u16string_view Units);
+  ObjectHeader *newStringUtf8(HandleScope &Scope, std::string_view Utf8);
+
+  // -- GC root scopes ------------------------------------------------------
+  void registerScope(HandleScope *Scope);
+  void unregisterScope(HandleScope *Scope);
+  std::vector<ObjectHeader *> snapshotRoots() const;
+
+  /// Rewrites every root slot per \p Moved (old -> new); used by the
+  /// compacting collector after sliding objects.
+  void updateRootsAfterMove(
+      const std::vector<std::pair<ObjectHeader *, ObjectHeader *>> &Moved);
+
+  // -- JNI critical sections ----------------------------------------------
+  /// Enters a JNI critical section (GetPrimitiveArrayCritical /
+  /// GetStringCritical). Blocks while a GC pause is active, unless the
+  /// calling thread is already inside a critical section.
+  void enterCritical();
+  void exitCritical();
+  uint32_t criticalDepth() const {
+    return CriticalCount.load(std::memory_order_acquire);
+  }
+
+  // -- world pause (GC) ------------------------------------------------------
+  /// Acquires the world pause: blocks new critical sections, waits for
+  /// outstanding ones to drain. Paired with endPause().
+  void beginPause();
+  void endPause();
+
+  /// The currently live runtime, or nullptr.
+  static Runtime *currentOrNull();
+
+private:
+  RuntimeConfig Config;
+  std::unique_ptr<JavaHeap> Heap;
+  std::unique_ptr<GcController> Gc;
+
+  mutable std::mutex ScopeLock;
+  std::vector<HandleScope *> Scopes;
+
+  // Critical-section / pause coordination. The critical fast path (no GC
+  // pause pending) is lock-free: benchmark comparisons of the policies'
+  // own locking (Figure 6) must not be drowned by a shared runtime mutex.
+  std::mutex PauseLock;
+  std::condition_variable PauseCv;
+  std::atomic<bool> PauseActive{false};
+  std::atomic<uint32_t> CriticalCount{0};
+};
+
+} // namespace mte4jni::rt
+
+#endif // MTE4JNI_RT_RUNTIME_H

@@ -1,0 +1,72 @@
+//===- Logging.h - logcat-style in-process logger ------------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A logcat-like logger. Messages are kept in a bounded in-process ring
+/// buffer (so tests can assert on them) and optionally echoed to stderr.
+/// Writing a log line counts as a simulated syscall (liblog's writev), which
+/// is exactly where the paper's Figure 4c shows asynchronous MTE faults
+/// surfacing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_SUPPORT_LOGGING_H
+#define MTE4JNI_SUPPORT_LOGGING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mte4jni::support {
+
+enum class LogSeverity : uint8_t { Debug, Info, Warn, Error, Fatal };
+
+/// One captured log record.
+struct LogRecord {
+  LogSeverity Severity;
+  std::string Tag;
+  std::string Message;
+  uint64_t ThreadId;
+};
+
+/// Process-wide bounded log buffer (static facade; state lives in the
+/// implementation file).
+class LogBuffer {
+public:
+  /// Appends a record; crosses a simulated syscall barrier.
+  static void write(LogSeverity Severity, const char *Tag,
+                    std::string Message);
+
+  /// Snapshot of the retained records (oldest first).
+  static std::vector<LogRecord> snapshot();
+
+  /// Drops all retained records.
+  static void clear();
+
+  /// When true, records are echoed to stderr as they arrive.
+  static void setEchoToStderr(bool Echo);
+
+  static size_t size();
+};
+
+/// logcat-style helpers.
+#if defined(__GNUC__) || defined(__clang__)
+#define M4J_PRINTF_23 __attribute__((format(printf, 2, 3)))
+#else
+#define M4J_PRINTF_23
+#endif
+M4J_PRINTF_23 void logDebug(const char *Tag, const char *Fmt, ...);
+M4J_PRINTF_23 void logInfo(const char *Tag, const char *Fmt, ...);
+M4J_PRINTF_23 void logWarn(const char *Tag, const char *Fmt, ...);
+M4J_PRINTF_23 void logError(const char *Tag, const char *Fmt, ...);
+#undef M4J_PRINTF_23
+
+const char *severityName(LogSeverity Severity);
+
+} // namespace mte4jni::support
+
+#endif // MTE4JNI_SUPPORT_LOGGING_H

@@ -1,0 +1,62 @@
+//===- MathExtras.h - Bit and alignment helpers -------------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Alignment and power-of-two arithmetic used by the heap allocator and the
+/// MTE granule machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_SUPPORT_MATHEXTRAS_H
+#define MTE4JNI_SUPPORT_MATHEXTRAS_H
+
+#include "mte4jni/support/Compiler.h"
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace mte4jni::support {
+
+/// Returns true if \p Value is a power of two (zero is not).
+constexpr bool isPowerOf2(uint64_t Value) {
+  return Value != 0 && (Value & (Value - 1)) == 0;
+}
+
+/// Rounds \p Value up to the next multiple of \p Align (a power of two).
+constexpr uint64_t alignTo(uint64_t Value, uint64_t Align) {
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+/// Rounds \p Value down to the previous multiple of \p Align (a power of two).
+constexpr uint64_t alignDown(uint64_t Value, uint64_t Align) {
+  return Value & ~(Align - 1);
+}
+
+/// Returns true if \p Value is a multiple of \p Align (a power of two).
+constexpr bool isAligned(uint64_t Value, uint64_t Align) {
+  return (Value & (Align - 1)) == 0;
+}
+
+/// Base-2 logarithm of a power of two.
+constexpr unsigned log2Of(uint64_t Value) {
+  return 63u - static_cast<unsigned>(std::countl_zero(Value));
+}
+
+/// Next power of two >= \p Value (Value must be nonzero and representable).
+constexpr uint64_t nextPowerOf2(uint64_t Value) {
+  return std::bit_ceil(Value);
+}
+
+/// Divide, rounding up.
+constexpr uint64_t divideCeil(uint64_t Num, uint64_t Den) {
+  return (Num + Den - 1) / Den;
+}
+
+} // namespace mte4jni::support
+
+#endif // MTE4JNI_SUPPORT_MATHEXTRAS_H

@@ -1,0 +1,104 @@
+//===- Rng.h - Deterministic random number generation -------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random generators. All randomness in the simulator —
+/// IRG tag selection, workload inputs, fuzz tests — flows from these so runs
+/// are reproducible given a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_SUPPORT_RNG_H
+#define MTE4JNI_SUPPORT_RNG_H
+
+#include "mte4jni/support/Compiler.h"
+
+#include <cstdint>
+
+namespace mte4jni::support {
+
+/// SplitMix64: used for seeding and cheap one-off draws.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// xoshiro256** 1.0 — the workhorse generator.
+class Xoshiro256 {
+public:
+  explicit Xoshiro256(uint64_t Seed) {
+    SplitMix64 SM(Seed);
+    for (uint64_t &Word : State)
+      Word = SM.next();
+  }
+
+  uint64_t next() {
+    const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    const uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform draw in [0, Bound). Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    M4J_ASSERT(Bound != 0, "nextBelow requires a nonzero bound");
+    // Lemire's multiply-shift rejection method.
+    uint64_t X = next();
+    __uint128_t M = static_cast<__uint128_t>(X) * Bound;
+    uint64_t Low = static_cast<uint64_t>(M);
+    if (Low < Bound) {
+      uint64_t Threshold = -Bound % Bound;
+      while (Low < Threshold) {
+        X = next();
+        M = static_cast<__uint128_t>(X) * Bound;
+        Low = static_cast<uint64_t>(M);
+      }
+    }
+    return static_cast<uint64_t>(M >> 64);
+  }
+
+  /// Uniform draw in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    M4J_ASSERT(Lo <= Hi, "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability \p P.
+  bool nextBool(double P = 0.5) { return nextDouble() < P; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace mte4jni::support
+
+#endif // MTE4JNI_SUPPORT_RNG_H

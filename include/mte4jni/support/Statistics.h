@@ -1,0 +1,69 @@
+//===- Statistics.h - Running statistics and percentiles ----------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small statistics helpers used by the benchmark harness: running mean /
+/// variance (Welford), percentile extraction and geometric means.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_SUPPORT_STATISTICS_H
+#define MTE4JNI_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mte4jni::support {
+
+/// Welford online mean/variance accumulator.
+class RunningStat {
+public:
+  void add(double X);
+
+  size_t count() const { return N; }
+  double mean() const { return N ? Mean : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return N ? Min : 0.0; }
+  double max() const { return N ? Max : 0.0; }
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// A sample set that supports percentiles; keeps all samples.
+class SampleSet {
+public:
+  void add(double X) { Samples.push_back(X); }
+  void clear() { Samples.clear(); }
+
+  size_t count() const { return Samples.size(); }
+  double mean() const;
+  /// Linear-interpolated percentile, \p P in [0, 100].
+  double percentile(double P) const;
+  double median() const { return percentile(50.0); }
+  double min() const;
+  double max() const;
+
+  const std::vector<double> &samples() const { return Samples; }
+
+private:
+  std::vector<double> Samples;
+};
+
+/// Geometric mean of \p Values; returns 0 for an empty input. All values
+/// must be positive.
+double geometricMean(const std::vector<double> &Values);
+
+} // namespace mte4jni::support
+
+#endif // MTE4JNI_SUPPORT_STATISTICS_H

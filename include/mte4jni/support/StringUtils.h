@@ -1,0 +1,53 @@
+//===- StringUtils.h - snprintf-style formatting helpers ----------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style std::string formatting plus a few parsing helpers. We avoid
+/// <iostream> in library code per the LLVM coding standards; tools print
+/// through these helpers and std::fputs/printf.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_SUPPORT_STRINGUTILS_H
+#define MTE4JNI_SUPPORT_STRINGUTILS_H
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mte4jni::support {
+
+/// printf into a std::string.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string
+format(const char *Fmt, ...);
+
+/// vprintf into a std::string.
+std::string formatV(const char *Fmt, va_list Args);
+
+/// Splits \p Text on \p Sep; empty pieces are kept.
+std::vector<std::string_view> split(std::string_view Text, char Sep);
+
+/// True if \p Text starts with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Parses a decimal unsigned integer; returns false on malformed input.
+bool parseUnsigned(std::string_view Text, uint64_t &Out);
+
+/// Renders a byte count with a binary-unit suffix, e.g. "4.0 KiB".
+std::string humanBytes(uint64_t Bytes);
+
+/// Renders \p Nanos with an adaptive unit, e.g. "1.25 ms".
+std::string humanNanos(double Nanos);
+
+} // namespace mte4jni::support
+
+#endif // MTE4JNI_SUPPORT_STRINGUTILS_H

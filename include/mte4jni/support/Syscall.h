@@ -1,0 +1,46 @@
+//===- Syscall.h - Simulated system-call boundary ------------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Asynchronous MTE faults on Linux are delivered when the kernel next
+/// inspects the thread's TFSR — in practice at the next system call or
+/// context switch (Figure 4c of the paper shows the fault surfacing inside
+/// getuid()). The simulator models this with an explicit syscall boundary:
+/// components that stand in for syscalls (logging, thread attach/detach, GC
+/// safepoints, the example programs' getuid()) call syscallBarrier(), which
+/// notifies registered observers. The MTE system registers an observer that
+/// drains pending async faults at that point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_SUPPORT_SYSCALL_H
+#define MTE4JNI_SUPPORT_SYSCALL_H
+
+#include <cstdint>
+
+namespace mte4jni::support {
+
+/// Observer invoked on the *calling* thread at each simulated syscall.
+using SyscallObserver = void (*)(void *Context, const char *SyscallName);
+
+/// Registers an observer; returns a token for unregistering. A small fixed
+/// number of slots is available (the MTE system uses one).
+int addSyscallObserver(SyscallObserver Fn, void *Context);
+
+/// Unregisters a previously added observer.
+void removeSyscallObserver(int Token);
+
+/// Announces that the calling thread performs the simulated syscall
+/// \p Name ("getuid", "write", ...). Invokes all observers.
+void syscallBarrier(const char *Name);
+
+/// Number of barriers crossed process-wide; handy for tests.
+uint64_t syscallBarrierCount();
+
+} // namespace mte4jni::support
+
+#endif // MTE4JNI_SUPPORT_SYSCALL_H

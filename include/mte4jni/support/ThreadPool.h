@@ -1,0 +1,65 @@
+//===- ThreadPool.h - Minimal fixed-size thread pool ---------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size thread pool used by the multi-core benchmark harness
+/// (Figures 6 and 8). Deliberately simple: a work queue, a parallel-for
+/// helper, and a barrier-style wait.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_SUPPORT_THREADPOOL_H
+#define MTE4JNI_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mte4jni::support {
+
+class ThreadPool {
+public:
+  /// Creates \p NumThreads workers (at least 1).
+  explicit ThreadPool(size_t NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  size_t size() const { return Workers.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has completed.
+  void waitIdle();
+
+  /// Runs Body(I) for I in [0, Count) across the pool and waits.
+  void parallelFor(size_t Count, const std::function<void(size_t)> &Body);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Queue;
+  std::mutex Lock;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllDone;
+  size_t InFlight = 0;
+  bool ShuttingDown = false;
+};
+
+/// Hardware concurrency, never zero.
+size_t hardwareThreads();
+
+} // namespace mte4jni::support
+
+#endif // MTE4JNI_SUPPORT_THREADPOOL_H

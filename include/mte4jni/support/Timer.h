@@ -1,0 +1,48 @@
+//===- Timer.h - Wall-clock timing helpers ------------------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock timers used by the benchmark harness and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_SUPPORT_TIMER_H
+#define MTE4JNI_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace mte4jni::support {
+
+/// Nanoseconds on the monotonic clock.
+inline uint64_t monotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Simple start/stop stopwatch; restartable.
+class Stopwatch {
+public:
+  Stopwatch() : StartNs(monotonicNanos()) {}
+
+  void restart() { StartNs = monotonicNanos(); }
+
+  /// Elapsed time since construction or the last restart().
+  uint64_t elapsedNanos() const { return monotonicNanos() - StartNs; }
+  double elapsedMicros() const { return elapsedNanos() * 1e-3; }
+  double elapsedMillis() const { return elapsedNanos() * 1e-6; }
+  double elapsedSeconds() const { return elapsedNanos() * 1e-9; }
+
+private:
+  uint64_t StartNs;
+};
+
+} // namespace mte4jni::support
+
+#endif // MTE4JNI_SUPPORT_TIMER_H

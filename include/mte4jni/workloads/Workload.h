@@ -1,0 +1,113 @@
+//===- Workload.h - Geekbench-style workload framework ----------------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §5.4 evaluates the Geekbench 6.3.0 CPU suite. Geekbench is
+/// closed source, so this library provides 16 synthetic sub-workloads with
+/// the same names and workload classes. Each one models an Android app
+/// component: its data lives in Java arrays, and native code obtains those
+/// arrays through the Table-1 JNI interfaces before computing.
+///
+/// Two access styles reproduce the §5.4 crossover insight:
+///
+///   * boundary-traffic workloads copy the Java arrays in/out with bulk
+///     (per-granule-checked) transfers and compute on native scratch;
+///   * JNI-intensive workloads (Clang, Text Processing, PDF Renderer —
+///     exactly the exceptions the paper names) run their inner loops
+///     element-by-element through the tagged JNI pointer, so per-access
+///     MTE checking dominates and guarded copy's single bulk copy wins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_WORKLOADS_WORKLOAD_H
+#define MTE4JNI_WORKLOADS_WORKLOAD_H
+
+#include "mte4jni/api/Session.h"
+#include "mte4jni/mte/Access.h"
+#include "mte4jni/support/Rng.h"
+
+#include <memory>
+#include <vector>
+
+namespace mte4jni::workloads {
+
+/// Everything a workload needs to run on one thread.
+struct WorkloadContext {
+  api::Session &S;
+  jni::JniEnv &Env;
+  rt::JavaThread &Thread;
+  rt::HandleScope &Scope;
+  uint64_t Seed = 1;
+};
+
+class Workload {
+public:
+  virtual ~Workload();
+
+  /// Geekbench sub-item name, e.g. "File Compression".
+  virtual const char *name() const = 0;
+
+  /// True for the memory-intensive class (§5.4: Clang, Text Processing,
+  /// PDF Renderer) whose inner loops access large arrays through the JNI
+  /// pointer.
+  virtual bool isJniIntensive() const { return false; }
+
+  /// Allocates this workload's Java objects (rooted in Ctx.Scope) and
+  /// fills them deterministically from Ctx.Seed.
+  virtual void prepare(WorkloadContext &Ctx) = 0;
+
+  /// One scored iteration; returns a checksum. The checksum must be
+  /// identical across protection schemes (they must not change results,
+  /// only detect violations) — tests rely on this.
+  virtual uint64_t run(WorkloadContext &Ctx) = 0;
+};
+
+/// Fresh instances of the full 16-workload suite, in Figure 7/8 order.
+std::vector<std::unique_ptr<Workload>> makeAllWorkloads();
+
+/// A single workload by name (nullptr when unknown).
+std::unique_ptr<Workload> makeWorkload(const char *Name);
+
+// ---- helpers shared by the workload implementations ------------------------
+
+/// Reads a whole primitive array into native scratch through
+/// Get<T>ArrayElements + bulk checked reads, releasing with JNI_ABORT
+/// (read-only).
+template <typename T>
+std::vector<T> readArrayToNative(jni::JniEnv &Env, jni::jarray Array) {
+  jni::jboolean IsCopy;
+  auto Elems = Env.getArrayElements<T>(Array, &IsCopy, "GetArrayElements");
+  uint64_t N = static_cast<uint64_t>(Array->Length);
+  std::vector<T> Out(N);
+  mte::readBytes(Out.data(), Elems.template cast<const void>(),
+                 N * sizeof(T));
+  Env.releaseArrayElements<T>(Array, Elems, jni::JNI_ABORT,
+                              "ReleaseArrayElements");
+  return Out;
+}
+
+/// Writes native scratch back into a primitive array through
+/// Get<T>ArrayElements + bulk checked writes.
+template <typename T>
+void writeArrayFromNative(jni::JniEnv &Env, jni::jarray Array,
+                          const std::vector<T> &Data) {
+  jni::jboolean IsCopy;
+  auto Elems = Env.getArrayElements<T>(Array, &IsCopy, "GetArrayElements");
+  uint64_t N = std::min<uint64_t>(Array->Length, Data.size());
+  mte::writeBytes(Elems.template cast<void>(), Data.data(), N * sizeof(T));
+  Env.releaseArrayElements<T>(Array, Elems, 0, "ReleaseArrayElements");
+}
+
+/// Mixes a value into a running checksum (splitmix-style).
+inline uint64_t mixChecksum(uint64_t Acc, uint64_t Value) {
+  Acc ^= Value + 0x9e3779b97f4a7c15ULL + (Acc << 6) + (Acc >> 2);
+  return Acc;
+}
+
+} // namespace mte4jni::workloads
+
+#endif // MTE4JNI_WORKLOADS_WORKLOAD_H

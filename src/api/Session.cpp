@@ -1,0 +1,159 @@
+//===- Session.cpp - One-stop façade over the protection schemes --------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/api/Session.h"
+
+#include "mte4jni/core/AllocTagPolicy.h"
+#include "mte4jni/mte/MteSystem.h"
+#include "mte4jni/support/StringUtils.h"
+
+namespace mte4jni::api {
+
+const char *schemeName(Scheme S) {
+  switch (S) {
+  case Scheme::NoProtection:
+    return "no-protection";
+  case Scheme::GuardedCopy:
+    return "guarded-copy";
+  case Scheme::Mte4JniSync:
+    return "mte4jni+sync";
+  case Scheme::Mte4JniAsync:
+    return "mte4jni+async";
+  case Scheme::TagOnAllocSync:
+    return "tag-on-alloc+sync";
+  }
+  return "?";
+}
+
+Session::Session(const SessionConfig &Config) : Config(Config) {
+  const bool IsMte = Config.Protection == Scheme::Mte4JniSync ||
+                     Config.Protection == Scheme::Mte4JniAsync ||
+                     Config.Protection == Scheme::TagOnAllocSync;
+
+  rt::RuntimeConfig RC;
+  RC.Heap.CapacityBytes = Config.HeapBytes;
+  // §4.1: MTE4JNI raises the allocator alignment to the granule size and
+  // maps the heap with PROT_MTE.
+  RC.Heap.Alignment =
+      Config.HeapAlignment ? Config.HeapAlignment : (IsMte ? 16u : 8u);
+  RC.Heap.ProtMte = IsMte;
+  RC.CheckMode = Config.Protection == Scheme::Mte4JniSync ||
+                         Config.Protection == Scheme::TagOnAllocSync
+                     ? mte::CheckMode::Sync
+                     : (Config.Protection == Scheme::Mte4JniAsync
+                            ? mte::CheckMode::Async
+                            : mte::CheckMode::None);
+  RC.Heap.TagOnAlloc = Config.Protection == Scheme::TagOnAllocSync;
+  RC.TagChecksInNative = IsMte;
+  RC.Gc.BackgroundThread = Config.BackgroundGc;
+  RC.Gc.IntervalMillis = Config.GcIntervalMillis;
+  RC.Gc.VerifyObjectBodies = Config.GcVerifiesBodies;
+  RC.Gc.SuppressTagChecks = Config.GcSuppressTagChecks;
+  RC.Seed = Config.Seed;
+
+  Runtime = std::make_unique<rt::Runtime>(RC);
+
+  switch (Config.Protection) {
+  case Scheme::NoProtection:
+    Policy = std::make_unique<jni::NoProtectionPolicy>();
+    break;
+  case Scheme::GuardedCopy: {
+    guarded::GuardedCopyOptions GO;
+    GO.RedZoneBytes = Config.GuardedRedZoneBytes;
+    auto P = std::make_unique<guarded::GuardedCopyPolicy>(GO);
+    GuardedPolicy = P.get();
+    Policy = std::move(P);
+    break;
+  }
+  case Scheme::TagOnAllocSync:
+    Policy = std::make_unique<core::AllocTagPolicy>();
+    break;
+  case Scheme::Mte4JniSync:
+  case Scheme::Mte4JniAsync: {
+    core::Mte4JniOptions MO;
+    MO.Locks = Config.Locks;
+    MO.NumHashTables = Config.NumHashTables;
+    MO.ExcludeAdjacentTags = Config.ExcludeAdjacentTags;
+    auto P = std::make_unique<core::Mte4JniPolicy>(MO);
+    MtePolicy = P.get();
+    Policy = std::move(P);
+    break;
+  }
+  }
+}
+
+Session::~Session() {
+  // Policy first (its scratch arena unregisters its MTE region), then the
+  // runtime (unregisters the heap region, resets the check mode).
+  Policy.reset();
+  Runtime.reset();
+}
+
+mte::FaultLog &Session::faults() {
+  return mte::MteSystem::instance().faultLog();
+}
+
+std::string Session::statsReport() const {
+  std::string Out;
+  Out += support::format("=== session stats (%s) ===\n",
+                         schemeName(Config.Protection));
+
+  rt::HeapStats HS = Runtime->heap().stats();
+  Out += support::format(
+      "heap: %llu objects live (%s), %llu allocated, %llu freed, "
+      "%llu free-list hits\n",
+      static_cast<unsigned long long>(HS.ObjectsLive),
+      support::humanBytes(HS.BytesLive).c_str(),
+      static_cast<unsigned long long>(HS.ObjectsAllocated),
+      static_cast<unsigned long long>(HS.ObjectsFreed),
+      static_cast<unsigned long long>(HS.FreeListHits));
+  Out += support::format(
+      "gc: %llu cycles completed\n",
+      static_cast<unsigned long long>(Runtime->gc().completedCycles()));
+
+  const mte::MteStats &MS = mte::MteSystem::instance().stats();
+  Out += support::format(
+      "mte: %llu irg, %llu granules tagged, %llu ldg, %llu sync faults, "
+      "%llu/%llu async latched/delivered\n",
+      static_cast<unsigned long long>(MS.IrgCount.load()),
+      static_cast<unsigned long long>(MS.StgGranules.load()),
+      static_cast<unsigned long long>(MS.LdgCount.load()),
+      static_cast<unsigned long long>(MS.SyncFaults.load()),
+      static_cast<unsigned long long>(MS.AsyncFaultsLatched.load()),
+      static_cast<unsigned long long>(MS.AsyncFaultsDelivered.load()));
+
+  if (MtePolicy) {
+    const core::TagAllocatorStats &TS = MtePolicy->allocator().stats();
+    Out += support::format(
+        "mte4jni: %llu acquires (%llu generated / %llu shared), "
+        "%llu releases, %llu tags cleared, lock scheme %s, k=%u\n",
+        static_cast<unsigned long long>(TS.Acquires.load()),
+        static_cast<unsigned long long>(TS.TagsGenerated.load()),
+        static_cast<unsigned long long>(TS.TagsShared.load()),
+        static_cast<unsigned long long>(TS.Releases.load()),
+        static_cast<unsigned long long>(TS.TagsCleared.load()),
+        core::lockSchemeName(MtePolicy->allocator().lockScheme()),
+        MtePolicy->allocator().table().numTables());
+  }
+  if (GuardedPolicy) {
+    guarded::GuardedCopyStats GS = GuardedPolicy->stats();
+    Out += support::format(
+        "guarded-copy: %llu acquires, %llu releases, %s copied, "
+        "%llu corruptions detected\n",
+        static_cast<unsigned long long>(GS.Acquires),
+        static_cast<unsigned long long>(GS.Releases),
+        support::humanBytes(GS.BytesCopied).c_str(),
+        static_cast<unsigned long long>(GS.CorruptionsDetected));
+  }
+  Out += support::format(
+      "faults recorded: %llu\n",
+      static_cast<unsigned long long>(
+          mte::MteSystem::instance().faultLog().totalCount()));
+  return Out;
+}
+
+} // namespace mte4jni::api

@@ -1,0 +1,54 @@
+//===- AllocTagPolicy.cpp - Tag-on-allocation design ablation ---------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/core/AllocTagPolicy.h"
+
+#include "mte4jni/mte/Instructions.h"
+
+namespace mte4jni::core {
+
+AllocTagPolicy::AllocTagPolicy(uint64_t ScratchArenaBytes)
+    : Scratch(ScratchArenaBytes) {}
+
+uint64_t AllocTagPolicy::acquire(const jni::JniBufferInfo &Info,
+                                 bool &IsCopy) {
+  IsCopy = false;
+  // One LDG; no table, no lock, no refcount.
+  return mte::withPointerTag(Info.DataBegin,
+                             mte::ldgTag(Info.DataBegin));
+}
+
+void AllocTagPolicy::release(const jni::JniBufferInfo &Info,
+                             uint64_t NativeBits, jni::jint Mode) {
+  // The tag is the object's, for the object's whole lifetime: releasing a
+  // JNI buffer changes nothing (and use-after-release goes undetected —
+  // the trade-off this ablation exists to expose).
+  (void)Info;
+  (void)NativeBits;
+  (void)Mode;
+}
+
+uint64_t AllocTagPolicy::acquireScratch(uint64_t Bytes,
+                                        const char *Interface) {
+  (void)Interface;
+  void *Buf = Scratch.allocate(Bytes);
+  if (!Buf)
+    return 0;
+  auto Tagged = mte::irg(mte::TaggedPtr<void>::fromRaw(Buf, 0));
+  mte::setTagRange(Tagged, Bytes);
+  return Tagged.bits();
+}
+
+void AllocTagPolicy::releaseScratch(uint64_t NativeBits, uint64_t Bytes,
+                                    const char *Interface) {
+  (void)Interface;
+  uint64_t Begin = mte::addressOf(NativeBits);
+  mte::clearTagRange(Begin, Bytes);
+  Scratch.deallocate(reinterpret_cast<void *>(Begin));
+}
+
+} // namespace mte4jni::core

@@ -1,0 +1,141 @@
+//===- TagAllocator.cpp - Algorithms 1 and 2 of the paper --------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/core/TagAllocator.h"
+
+#include "mte4jni/mte/Instructions.h"
+#include "mte4jni/support/MathExtras.h"
+#include "mte4jni/support/TraceEvents.h"
+
+namespace mte4jni::core {
+
+const char *lockSchemeName(LockScheme Scheme) {
+  switch (Scheme) {
+  case LockScheme::TwoTier:
+    return "two-tier";
+  case LockScheme::GlobalLock:
+    return "global-lock";
+  }
+  return "?";
+}
+
+TagAllocator::TagAllocator(LockScheme Scheme, unsigned NumTables,
+                           bool EraseDeadEntries)
+    : Scheme(Scheme), EraseDeadEntries(EraseDeadEntries),
+      Table(NumTables) {}
+
+TagAllocator::TagAllocator(const TagAllocatorOptions &Options)
+    : Scheme(Options.Locks), EraseDeadEntries(Options.EraseDeadEntries),
+      ExcludeAdjacentTags(Options.ExcludeAdjacentTags),
+      Table(Options.NumTables) {}
+
+uint64_t TagAllocator::acquire(uint64_t Begin, uint64_t End) {
+  Begin = mte::addressOf(Begin);
+  End = mte::addressOf(End);
+  M4J_ASSERT(Begin <= End, "inverted range");
+  if (Scheme == LockScheme::GlobalLock) {
+    // The naive §3.1 strawman: every JNI thread serialises here.
+    std::lock_guard<std::mutex> Guard(GlobalLock);
+    return acquireLocked(Begin, End);
+  }
+  return acquireLocked(Begin, End);
+}
+
+uint64_t TagAllocator::acquireLocked(uint64_t Begin, uint64_t End) {
+  support::ScopedTrace Trace("TagAllocator.acquire", "mte4jni");
+  Stats.Acquires.fetch_add(1, std::memory_order_relaxed);
+
+  // Steps 1-2: shard by (begin/16) mod k; retrieve or create the
+  // {referenceNum, mutexAddr} tuple under the table lock.
+  TagTable::EntryRef Entry = Table.lookupOrCreate(Begin);
+
+  // Step 3: under the object lock, bump the count and pick the tag.
+  mte::TagValue Tag;
+  {
+    std::lock_guard<std::mutex> ObjGuard(Entry->Mutex);
+    ++Entry->RefCount;
+    if (Entry->RefCount > 1) {
+      // Another native thread already tagged this object: share its tag
+      // by loading it back with LDG.
+      Tag = mte::ldgTag(Begin);
+      Stats.TagsShared.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // First holder: generate a random tag (IRG) and apply it to every
+      // granule of [begin, end) (ST2G/STG). With the adjacent-exclusion
+      // hardening, the IRG draw additionally excludes the tags currently
+      // on the neighbouring granules, so a linear overflow into an
+      // adjacent tagged object can never alias.
+      uint16_t ExtraExclude = 0;
+      if (ExcludeAdjacentTags) {
+        // Two granules on each side: object payloads are separated by a
+        // one-granule header, so the nearest *neighbouring payload*
+        // granule is up to two granules away.
+        uint64_t EndAligned = support::alignTo(End, mte::kGranuleSize);
+        ExtraExclude = static_cast<uint16_t>(
+            (1u << mte::ldgTag(Begin - mte::kGranuleSize)) |
+            (1u << mte::ldgTag(Begin - 2 * mte::kGranuleSize)) |
+            (1u << mte::ldgTag(EndAligned)) |
+            (1u << mte::ldgTag(EndAligned + mte::kGranuleSize)));
+      }
+      Tag = mte::irgTag(ExtraExclude);
+      mte::setTagRange(mte::TaggedPtr<void>::fromRaw(
+                           reinterpret_cast<void *>(Begin), Tag),
+                       End - Begin);
+      Stats.TagsGenerated.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Step 4: the tagged pointer.
+  return mte::withPointerTag(Begin, Tag);
+}
+
+void TagAllocator::release(uint64_t Begin, uint64_t End) {
+  Begin = mte::addressOf(Begin);
+  End = mte::addressOf(End);
+  if (Scheme == LockScheme::GlobalLock) {
+    std::lock_guard<std::mutex> Guard(GlobalLock);
+    releaseLocked(Begin, End);
+    return;
+  }
+  releaseLocked(Begin, End);
+}
+
+void TagAllocator::releaseLocked(uint64_t Begin, uint64_t End) {
+  support::ScopedTrace Trace("TagAllocator.release", "mte4jni");
+  Stats.Releases.fetch_add(1, std::memory_order_relaxed);
+
+  // Steps 1-2: find the entry; nothing to do when absent (release of an
+  // object no Get interface tagged).
+  TagTable::EntryRef Entry = Table.lookup(Begin);
+  if (!Entry) {
+    Stats.OrphanReleases.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // Step 3: drop the count; the last holder clears the memory tags so the
+  // tag becomes available again and dangling tagged pointers fault.
+  bool ClearedToZero = false;
+  {
+    std::lock_guard<std::mutex> ObjGuard(Entry->Mutex);
+    if (Entry->RefCount == 0) {
+      // Already released (double release); tolerated like the paper's
+      // "nothing needs to be done" path.
+      Stats.OrphanReleases.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    --Entry->RefCount;
+    if (Entry->RefCount == 0) {
+      mte::clearTagRange(Begin, End - Begin);
+      Stats.TagsCleared.fetch_add(1, std::memory_order_relaxed);
+      ClearedToZero = true;
+    }
+  }
+  if (ClearedToZero && EraseDeadEntries)
+    Table.eraseIfDead(Begin);
+}
+
+} // namespace mte4jni::core

@@ -1,0 +1,76 @@
+//===- TagTable.cpp - Two-tier locked reference-count tables ---------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/core/TagTable.h"
+
+namespace mte4jni::core {
+
+TagTable::TagTable(unsigned NumTables) : NumTables(NumTables) {
+  M4J_ASSERT(NumTables > 0, "need at least one hash table");
+  Shards.reserve(NumTables);
+  for (unsigned I = 0; I < NumTables; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+TagTable::EntryRef TagTable::lookupOrCreate(uint64_t Begin) {
+  Shard &S = *Shards[shardIndexOf(Begin)];
+  std::lock_guard<std::mutex> TableGuard(S.TableLock);
+  ++S.Stats.Lookups;
+  auto It = S.Map.find(Begin);
+  if (It != S.Map.end())
+    return It->second;
+  ++S.Stats.Creates;
+  auto E = std::make_shared<Entry>();
+  S.Map.emplace(Begin, E);
+  return E;
+}
+
+TagTable::EntryRef TagTable::lookup(uint64_t Begin) {
+  Shard &S = *Shards[shardIndexOf(Begin)];
+  std::lock_guard<std::mutex> TableGuard(S.TableLock);
+  ++S.Stats.Lookups;
+  auto It = S.Map.find(Begin);
+  return It != S.Map.end() ? It->second : nullptr;
+}
+
+void TagTable::eraseIfDead(uint64_t Begin) {
+  Shard &S = *Shards[shardIndexOf(Begin)];
+  std::lock_guard<std::mutex> TableGuard(S.TableLock);
+  auto It = S.Map.find(Begin);
+  if (It == S.Map.end())
+    return;
+  // Entry lock ordering: table lock is held; a concurrent acquirer that
+  // already fetched this entry holds (or will take) the object lock, so we
+  // must check the count under it.
+  std::lock_guard<std::mutex> ObjGuard(It->second->Mutex);
+  if (It->second->RefCount == 0) {
+    ++S.Stats.Erases;
+    S.Map.erase(It);
+  }
+}
+
+size_t TagTable::liveEntries() const {
+  size_t Total = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Guard(S->TableLock);
+    Total += S->Map.size();
+  }
+  return Total;
+}
+
+TagTableStats TagTable::stats() const {
+  TagTableStats Total;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Guard(S->TableLock);
+    Total.Lookups += S->Stats.Lookups;
+    Total.Creates += S->Stats.Creates;
+    Total.Erases += S->Stats.Erases;
+  }
+  return Total;
+}
+
+} // namespace mte4jni::core

@@ -1,0 +1,356 @@
+//===- JniEnv.cpp - The simulated JNI environment -----------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/jni/JniEnv.h"
+
+#include "mte4jni/mte/MteSystem.h"
+#include "mte4jni/mte/ThreadState.h"
+#include "mte4jni/support/Logging.h"
+#include "mte4jni/support/StringUtils.h"
+#include "mte4jni/support/TraceEvents.h"
+
+#include <cstring>
+
+namespace mte4jni::jni {
+
+JniEnv::~JniEnv() {
+  // CheckJNI-style leak detection: native code that never released its
+  // GetStringUTFChars buffers.
+  if (!UtfBuffers.empty())
+    support::logWarn("CheckJNI",
+                     "JNIEnv destroyed with %zu unreleased "
+                     "GetStringUTFChars buffer(s) (native leak)",
+                     UtfBuffers.size());
+  if (!LocalFrames.empty())
+    support::logWarn("CheckJNI",
+                     "JNIEnv destroyed with %zu unpopped local frame(s)",
+                     LocalFrames.size());
+}
+
+bool JniEnv::checkArray(jarray Array, rt::PrimType Expected,
+                        const char *Interface) {
+  if (!Array) {
+    raiseError(Interface, "NullPointerException: null array");
+    return false;
+  }
+  if (Array->kind() != rt::ObjectKind::PrimArray ||
+      Array->elemType() != Expected) {
+    raiseError(Interface,
+               support::format("expected %s[] but got object kind %u/%s",
+                               rt::primTypeName(Expected),
+                               unsigned(Array->kind()),
+                               rt::primTypeName(Array->elemType())));
+    return false;
+  }
+  return true;
+}
+
+bool JniEnv::checkString(jstring Str, const char *Interface) {
+  if (!Str) {
+    raiseError(Interface, "NullPointerException: null string");
+    return false;
+  }
+  if (Str->kind() != rt::ObjectKind::String) {
+    raiseError(Interface, "expected a java.lang.String");
+    return false;
+  }
+  return true;
+}
+
+void JniEnv::raiseError(const char *Interface, std::string Message) {
+  PendingError = true;
+  ErrorMessage = support::format("%s: %s", Interface, Message.c_str());
+
+  mte::FaultRecord Record;
+  Record.Kind = mte::FaultKind::JniCheckError;
+  Record.Description = ErrorMessage;
+  Record.ThreadId = mte::ThreadState::current().threadId();
+  Record.Backtrace = support::FrameStack::current().capture();
+  mte::MteSystem::instance().faultLog().append(std::move(Record));
+}
+
+uint64_t JniEnv::acquireObject(rt::ObjectHeader *Obj, const char *Interface,
+                               jboolean *IsCopy) {
+  support::ScopedTrace Trace("JNI.Get", "jni");
+  // JNI Get* interfaces pin the object: the GC must not reclaim or move
+  // memory native code holds a raw pointer into.
+  Obj->pin();
+  JniBufferInfo Info;
+  Info.Obj = Obj;
+  Info.DataBegin = Obj->dataAddress();
+  Info.Bytes = Obj->dataBytes();
+  Info.Interface = Interface;
+  bool Copy = false;
+  uint64_t Bits = Policy.acquire(Info, Copy);
+  if (IsCopy)
+    *IsCopy = Copy ? JNI_TRUE : JNI_FALSE;
+  return Bits;
+}
+
+void JniEnv::releaseObject(rt::ObjectHeader *Obj, const char *Interface,
+                           uint64_t Bits, jint Mode) {
+  support::ScopedTrace Trace("JNI.Release", "jni");
+  JniBufferInfo Info;
+  Info.Obj = Obj;
+  Info.DataBegin = Obj->dataAddress();
+  Info.Bytes = Obj->dataBytes();
+  Info.Interface = Interface;
+  Policy.release(Info, Bits, Mode);
+  // JNI_COMMIT keeps the buffer alive: the caller will release again.
+  if (Mode != JNI_COMMIT)
+    Obj->unpin();
+}
+
+// ==== critical interfaces ================================================
+
+mte::TaggedPtr<void> JniEnv::GetPrimitiveArrayCritical(jarray Array,
+                                                       jboolean *IsCopy) {
+  support::ScopedFrame Frame("GetPrimitiveArrayCritical", "libart.so");
+  if (!Array) {
+    raiseError("GetPrimitiveArrayCritical", "NullPointerException");
+    return mte::TaggedPtr<void>();
+  }
+  if (Array->kind() != rt::ObjectKind::PrimArray) {
+    raiseError("GetPrimitiveArrayCritical", "not a primitive array");
+    return mte::TaggedPtr<void>();
+  }
+  RT.enterCritical();
+  return mte::TaggedPtr<void>::fromBits(
+      acquireObject(Array, "GetPrimitiveArrayCritical", IsCopy));
+}
+
+void JniEnv::ReleasePrimitiveArrayCritical(jarray Array,
+                                           mte::TaggedPtr<void> Carray,
+                                           jint Mode) {
+  support::ScopedFrame Frame("ReleasePrimitiveArrayCritical", "libart.so");
+  if (!Array || Array->kind() != rt::ObjectKind::PrimArray) {
+    raiseError("ReleasePrimitiveArrayCritical", "bad array argument");
+    return;
+  }
+  // CheckJNI: releasing a critical you never entered is a native bug that
+  // would corrupt the runtime's critical accounting.
+  if (RT.criticalDepth() == 0) {
+    raiseError("ReleasePrimitiveArrayCritical",
+               "no JNI critical section is active on this runtime");
+    return;
+  }
+  releaseObject(Array, "ReleasePrimitiveArrayCritical", Carray.bits(), Mode);
+  RT.exitCritical();
+}
+
+mte::TaggedPtr<const jchar> JniEnv::GetStringCritical(jstring Str,
+                                                      jboolean *IsCopy) {
+  support::ScopedFrame Frame("GetStringCritical", "libart.so");
+  if (!checkString(Str, "GetStringCritical"))
+    return mte::TaggedPtr<const jchar>();
+  RT.enterCritical();
+  return mte::TaggedPtr<const jchar>::fromBits(
+      acquireObject(Str, "GetStringCritical", IsCopy));
+}
+
+void JniEnv::ReleaseStringCritical(jstring Str,
+                                   mte::TaggedPtr<const jchar> Chars) {
+  support::ScopedFrame Frame("ReleaseStringCritical", "libart.so");
+  if (!checkString(Str, "ReleaseStringCritical"))
+    return;
+  releaseObject(Str, "ReleaseStringCritical", Chars.bits(), 0);
+  RT.exitCritical();
+}
+
+// ==== string interfaces ==================================================
+
+mte::TaggedPtr<const jchar> JniEnv::GetStringChars(jstring Str,
+                                                   jboolean *IsCopy) {
+  support::ScopedFrame Frame("GetStringChars", "libart.so");
+  if (!checkString(Str, "GetStringChars"))
+    return mte::TaggedPtr<const jchar>();
+  return mte::TaggedPtr<const jchar>::fromBits(
+      acquireObject(Str, "GetStringChars", IsCopy));
+}
+
+void JniEnv::ReleaseStringChars(jstring Str,
+                                mte::TaggedPtr<const jchar> Chars) {
+  support::ScopedFrame Frame("ReleaseStringChars", "libart.so");
+  if (!checkString(Str, "ReleaseStringChars"))
+    return;
+  releaseObject(Str, "ReleaseStringChars", Chars.bits(), 0);
+}
+
+mte::TaggedPtr<const char> JniEnv::GetStringUTFChars(jstring Str,
+                                                     jboolean *IsCopy) {
+  support::ScopedFrame Frame("GetStringUTFChars", "libart.so");
+  if (!checkString(Str, "GetStringUTFChars"))
+    return mte::TaggedPtr<const char>();
+
+  // GetStringUTFChars always converts into a fresh native buffer.
+  std::u16string_view Units(
+      reinterpret_cast<const char16_t *>(rt::stringChars(Str)), Str->Length);
+  std::string Utf8 = rt::utf16ToUtf8(Units);
+  uint64_t Bytes = Utf8.size() + 1; // NUL-terminated per JNI spec
+
+  uint64_t Bits = Policy.acquireScratch(Bytes, "GetStringUTFChars");
+  char *Host = reinterpret_cast<char *>(mte::addressOf(Bits));
+  if (!Host) {
+    raiseError("GetStringUTFChars", "OutOfMemoryError");
+    return mte::TaggedPtr<const char>();
+  }
+  std::memcpy(Host, Utf8.data(), Utf8.size());
+  Host[Utf8.size()] = '\0';
+
+  UtfBuffers[Bits] = Bytes;
+  if (IsCopy)
+    *IsCopy = JNI_TRUE;
+  return mte::TaggedPtr<const char>::fromBits(Bits);
+}
+
+void JniEnv::ReleaseStringUTFChars(jstring Str,
+                                   mte::TaggedPtr<const char> Utf) {
+  support::ScopedFrame Frame("ReleaseStringUTFChars", "libart.so");
+  (void)Str; // real JNI ignores the string argument for the copy's release
+  auto It = UtfBuffers.find(Utf.bits());
+  if (It == UtfBuffers.end()) {
+    raiseError("ReleaseStringUTFChars",
+               "pointer was not returned by GetStringUTFChars");
+    return;
+  }
+  uint64_t Bytes = It->second;
+  UtfBuffers.erase(It);
+  Policy.releaseScratch(Utf.bits(), Bytes, "ReleaseStringUTFChars");
+}
+
+// ==== Object[] ============================================================
+
+jarray JniEnv::NewObjectArray(rt::HandleScope &Scope, jsize Length) {
+  support::ScopedFrame Frame("NewObjectArray", "libart.so");
+  if (Length < 0) {
+    raiseError("NewObjectArray", "NegativeArraySizeException");
+    return nullptr;
+  }
+  jarray Array = RT.newRefArray(Scope, static_cast<uint32_t>(Length));
+  if (!Array)
+    raiseError("NewObjectArray", "OutOfMemoryError");
+  return Array;
+}
+
+jobject JniEnv::GetObjectArrayElement(jarray Array, jsize Index) {
+  support::ScopedFrame Frame("GetObjectArrayElement", "libart.so");
+  if (!Array || Array->kind() != rt::ObjectKind::RefArray) {
+    raiseError("GetObjectArrayElement", "not an object array");
+    return nullptr;
+  }
+  if (Index < 0 || static_cast<uint32_t>(Index) >= Array->Length) {
+    raiseError("GetObjectArrayElement", "ArrayIndexOutOfBoundsException");
+    return nullptr;
+  }
+  return rt::refArraySlots(Array)[Index];
+}
+
+void JniEnv::SetObjectArrayElement(jarray Array, jsize Index,
+                                   jobject Value) {
+  support::ScopedFrame Frame("SetObjectArrayElement", "libart.so");
+  if (!Array || Array->kind() != rt::ObjectKind::RefArray) {
+    raiseError("SetObjectArrayElement", "not an object array");
+    return;
+  }
+  if (Index < 0 || static_cast<uint32_t>(Index) >= Array->Length) {
+    raiseError("SetObjectArrayElement", "ArrayIndexOutOfBoundsException");
+    return;
+  }
+  rt::refArraySlots(Array)[Index] = Value;
+}
+
+// ==== local reference frames ==============================================
+
+jint JniEnv::PushLocalFrame(jint Capacity) {
+  support::ScopedFrame Frame("PushLocalFrame", "libart.so");
+  if (Capacity < 0) {
+    raiseError("PushLocalFrame", "negative capacity");
+    return -1;
+  }
+  LocalFrames.push_back(std::make_unique<rt::HandleScope>(RT));
+  return 0;
+}
+
+jobject JniEnv::PopLocalFrame(jobject Result) {
+  support::ScopedFrame Frame("PopLocalFrame", "libart.so");
+  if (LocalFrames.empty()) {
+    raiseError("PopLocalFrame", "no local frame to pop");
+    return Result;
+  }
+  // Real JNI promotes Result into the outer frame; this runtime's
+  // references are direct pointers, so survival requires the caller to
+  // root Result elsewhere — emulate the promotion when possible.
+  LocalFrames.pop_back();
+  if (Result && !LocalFrames.empty())
+    LocalFrames.back()->root(Result);
+  return Result;
+}
+
+jarray JniEnv::NewIntArrayLocal(jsize Length) {
+  if (LocalFrames.empty()) {
+    raiseError("NewIntArray", "no local frame open");
+    return nullptr;
+  }
+  return newArray<jint>(*LocalFrames.back(), Length, "NewIntArray");
+}
+
+jstring JniEnv::NewStringUTFLocal(const char *Utf8) {
+  if (LocalFrames.empty()) {
+    raiseError("NewStringUTF", "no local frame open");
+    return nullptr;
+  }
+  return NewStringUTF(*LocalFrames.back(), Utf8);
+}
+
+// ==== queries and creation ===============================================
+
+jsize JniEnv::GetArrayLength(jarray Array) {
+  if (!Array || Array->kind() != rt::ObjectKind::PrimArray) {
+    raiseError("GetArrayLength", "bad array argument");
+    return -1;
+  }
+  return static_cast<jsize>(Array->Length);
+}
+
+jsize JniEnv::GetStringLength(jstring Str) {
+  if (!checkString(Str, "GetStringLength"))
+    return -1;
+  return static_cast<jsize>(Str->Length);
+}
+
+jsize JniEnv::GetStringUTFLength(jstring Str) {
+  if (!checkString(Str, "GetStringUTFLength"))
+    return -1;
+  return static_cast<jsize>(rt::utf8Length(Str));
+}
+
+jstring JniEnv::NewString(rt::HandleScope &Scope, const jchar *Units,
+                          jsize Len) {
+  if (Len < 0) {
+    raiseError("NewString", "negative length");
+    return nullptr;
+  }
+  jstring Str = RT.newString(
+      Scope, std::u16string_view(reinterpret_cast<const char16_t *>(Units),
+                                 static_cast<size_t>(Len)));
+  if (!Str)
+    raiseError("NewString", "OutOfMemoryError");
+  return Str;
+}
+
+jstring JniEnv::NewStringUTF(rt::HandleScope &Scope, const char *Utf8) {
+  if (!Utf8) {
+    raiseError("NewStringUTF", "NullPointerException");
+    return nullptr;
+  }
+  jstring Str = RT.newStringUtf8(Scope, Utf8);
+  if (!Str)
+    raiseError("NewStringUTF", "OutOfMemoryError");
+  return Str;
+}
+
+} // namespace mte4jni::jni

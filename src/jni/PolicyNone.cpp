@@ -1,0 +1,29 @@
+//===- PolicyNone.cpp - The "no protection" baseline -------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/jni/PolicyNone.h"
+
+#include <cstdlib>
+
+namespace mte4jni::jni {
+
+CheckPolicy::~CheckPolicy() = default;
+
+uint64_t NoProtectionPolicy::acquireScratch(uint64_t Bytes,
+                                            const char *Interface) {
+  (void)Interface;
+  return reinterpret_cast<uint64_t>(std::malloc(Bytes));
+}
+
+void NoProtectionPolicy::releaseScratch(uint64_t NativeBits, uint64_t Bytes,
+                                        const char *Interface) {
+  (void)Bytes;
+  (void)Interface;
+  std::free(reinterpret_cast<void *>(NativeBits));
+}
+
+} // namespace mte4jni::jni

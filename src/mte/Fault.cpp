@@ -1,0 +1,82 @@
+//===- Fault.cpp - Tag-check fault records and the fault log --------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/mte/Fault.h"
+
+#include "mte4jni/support/StringUtils.h"
+
+#include <mutex>
+
+namespace mte4jni::mte {
+
+const char *faultKindName(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::TagMismatchSync:
+    return "SEGV_MTESERR (sync tag-check fault)";
+  case FaultKind::TagMismatchAsync:
+    return "SEGV_MTEAERR (async tag-check fault)";
+  case FaultKind::GuardedCopyCorruption:
+    return "guarded-copy red-zone corruption";
+  case FaultKind::JniCheckError:
+    return "JNI check error";
+  }
+  return "?";
+}
+
+std::string FaultRecord::str() const {
+  std::string Out;
+  Out += support::format("signal: %s\n", faultKindName(Kind));
+  if (HasAddress)
+    Out += support::format("fault addr: 0x%016llx (ptr tag %u, mem tag %u, "
+                           "%s of %u bytes)\n",
+                           static_cast<unsigned long long>(Address),
+                           unsigned(PointerTag), unsigned(MemoryTag),
+                           IsWrite ? "write" : "read", AccessSize);
+  else
+    Out += "fault addr: --------  (not available for async reports)\n";
+  if (!DeliveredAtSyscall.empty())
+    Out += support::format("delivered at syscall: %s\n",
+                           DeliveredAtSyscall.c_str());
+  if (!Description.empty())
+    Out += Description + "\n";
+  Out += support::format("%zu total frames\n", Backtrace.size());
+  Out += support::renderBacktrace(Backtrace);
+  return Out;
+}
+
+void FaultLog::append(FaultRecord Record) {
+  std::lock_guard<support::SpinLock> Guard(Lock);
+  ++Total;
+  ++Counts[static_cast<size_t>(Record.Kind)];
+  if (Records.size() < kMaxStored)
+    Records.push_back(std::move(Record));
+}
+
+std::vector<FaultRecord> FaultLog::snapshot() const {
+  std::lock_guard<support::SpinLock> Guard(Lock);
+  return Records;
+}
+
+void FaultLog::clear() {
+  std::lock_guard<support::SpinLock> Guard(Lock);
+  Records.clear();
+  Total = 0;
+  for (uint64_t &Count : Counts)
+    Count = 0;
+}
+
+uint64_t FaultLog::totalCount() const {
+  std::lock_guard<support::SpinLock> Guard(Lock);
+  return Total;
+}
+
+uint64_t FaultLog::countOf(FaultKind Kind) const {
+  std::lock_guard<support::SpinLock> Guard(Lock);
+  return Counts[static_cast<size_t>(Kind)];
+}
+
+} // namespace mte4jni::mte

@@ -1,0 +1,155 @@
+//===- MteSystem.cpp - Process-level MTE simulator state ------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/mte/MteSystem.h"
+
+#include "mte4jni/mte/ThreadState.h"
+#include "mte4jni/support/Logging.h"
+#include "mte4jni/support/Syscall.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+
+namespace mte4jni::mte {
+namespace {
+
+/// Syscall observer: drains the calling thread's pending async fault.
+void drainAsyncAtSyscall(void *Context, const char *SyscallName) {
+  (void)Context;
+  ThreadState &TS = ThreadState::current();
+  if (M4J_UNLIKELY(TS.asyncPending()))
+    TS.drainAsync(SyscallName);
+}
+
+} // namespace
+
+MteSystem &MteSystem::instance() {
+  static MteSystem System;
+  return System;
+}
+
+MteSystem::MteSystem() {
+  publishRegions({});
+  support::addSyscallObserver(drainAsyncAtSyscall, this);
+}
+
+void MteSystem::publishRegions(
+    std::vector<std::shared_ptr<TaggedRegion>> NewRegions) {
+  auto *NewList = new RegionList(std::move(NewRegions));
+  const RegionList *Old =
+      RegionsSnapshot.exchange(NewList, std::memory_order_acq_rel);
+  if (Old)
+    RetiredSnapshots.emplace_back(Old);
+}
+
+void MteSystem::reset() {
+  {
+    std::lock_guard<support::SpinLock> Guard(RegionLock);
+    LiveRegions.clear();
+    publishRegions({});
+    // Retired snapshots stay alive: a reset happens at quiescent points but
+    // keeping them is cheap insurance against stale readers.
+  }
+  ProcessMode.store(CheckMode::None, std::memory_order_relaxed);
+  IrgExclude.store(0x0001, std::memory_order_relaxed);
+  Handler.store(nullptr, std::memory_order_relaxed);
+  HandlerContext.store(nullptr, std::memory_order_relaxed);
+  Log.clear();
+  Stats.reset();
+  ThreadSeedCounter.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<support::SpinLock> Guard(ThreadLock);
+    for (ThreadState *TS : Threads) {
+      TS->Tco = false;
+      TS->Mode = CheckMode::None;
+      TS->refreshChecksOn();
+    }
+  }
+}
+
+void MteSystem::setProcessCheckMode(CheckMode Mode) {
+  ProcessMode.store(Mode, std::memory_order_relaxed);
+  std::lock_guard<support::SpinLock> Guard(ThreadLock);
+  for (ThreadState *TS : Threads) {
+    TS->Mode = Mode;
+    TS->refreshChecksOn();
+  }
+}
+
+void MteSystem::setIrgExcludeMask(uint16_t Mask) {
+  IrgExclude.store(Mask, std::memory_order_relaxed);
+}
+
+void MteSystem::registerRegion(void *Begin, uint64_t Size) {
+  std::lock_guard<support::SpinLock> Guard(RegionLock);
+  uint64_t BeginAddr = reinterpret_cast<uint64_t>(Begin);
+  for (const auto &Region : LiveRegions)
+    M4J_ASSERT(BeginAddr >= Region->end() || BeginAddr + Size <= Region->begin(),
+               "overlapping PROT_MTE regions");
+  LiveRegions.push_back(std::make_shared<TaggedRegion>(BeginAddr, Size));
+  publishRegions(LiveRegions);
+}
+
+void MteSystem::unregisterRegion(void *Begin) {
+  std::lock_guard<support::SpinLock> Guard(RegionLock);
+  uint64_t BeginAddr = reinterpret_cast<uint64_t>(Begin);
+  auto It = std::find_if(
+      LiveRegions.begin(), LiveRegions.end(),
+      [BeginAddr](const auto &Region) { return Region->begin() == BeginAddr; });
+  M4J_ASSERT(It != LiveRegions.end(), "unregistering unknown region");
+  LiveRegions.erase(It);
+  publishRegions(LiveRegions);
+}
+
+TagValue MteSystem::memoryTagAt(uint64_t Addr) const {
+  const TaggedRegion *Region = regions()->find(Addr);
+  return Region ? Region->tagAt(Addr) : TagValue(0);
+}
+
+void MteSystem::setFaultHandler(FaultHandler NewHandler, void *Context) {
+  HandlerContext.store(Context, std::memory_order_relaxed);
+  Handler.store(NewHandler, std::memory_order_release);
+}
+
+void MteSystem::deliverFault(FaultRecord Record) {
+  FaultHandler H = Handler.load(std::memory_order_acquire);
+  void *Context = HandlerContext.load(std::memory_order_relaxed);
+  // Keep a copy in the log before consulting the handler so an aborting
+  // handler still leaves a trace.
+  FaultRecord Copy = Record;
+  Log.append(std::move(Record));
+  FaultAction Action = FaultAction::Continue;
+  if (H)
+    Action = H(Context, Copy);
+  if (Action == FaultAction::Abort) {
+    std::fputs(Copy.str().c_str(), stderr);
+    std::fputs("mte4jni: emulating device behaviour: abort()\n", stderr);
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+void MteSystem::registerThread(ThreadState *State) {
+  std::lock_guard<support::SpinLock> Guard(ThreadLock);
+  Threads.push_back(State);
+}
+
+void MteSystem::unregisterThread(ThreadState *State) {
+  std::lock_guard<support::SpinLock> Guard(ThreadLock);
+  auto It = std::find(Threads.begin(), Threads.end(), State);
+  if (It != Threads.end())
+    Threads.erase(It);
+}
+
+uint64_t MteSystem::nextThreadSeed() {
+  uint64_t Counter = ThreadSeedCounter.fetch_add(1, std::memory_order_relaxed);
+  return RngSeed.load(std::memory_order_relaxed) * 0x9e3779b97f4a7c15ULL +
+         Counter;
+}
+
+} // namespace mte4jni::mte

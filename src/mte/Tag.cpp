@@ -1,0 +1,24 @@
+//===- Tag.cpp - MTE tag and granule constants ---------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/mte/Tag.h"
+
+namespace mte4jni::mte {
+
+const char *checkModeName(CheckMode Mode) {
+  switch (Mode) {
+  case CheckMode::None:
+    return "none";
+  case CheckMode::Sync:
+    return "sync";
+  case CheckMode::Async:
+    return "async";
+  }
+  return "?";
+}
+
+} // namespace mte4jni::mte

@@ -1,0 +1,47 @@
+//===- TagStorage.cpp - Shadow storage for granule tags ------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/mte/TagStorage.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mte4jni::mte {
+
+TaggedRegion::TaggedRegion(uint64_t Begin, uint64_t Size)
+    : Begin(Begin), End(Begin + Size),
+      NumGranules(Size >> kGranuleShift),
+      Tags(new uint8_t[Size >> kGranuleShift]) {
+  M4J_ASSERT(support::isAligned(Begin, kGranuleSize),
+             "region base must be granule-aligned");
+  M4J_ASSERT(support::isAligned(Size, kGranuleSize) && Size > 0,
+             "region size must be a positive granule multiple");
+  std::memset(Tags.get(), 0, NumGranules);
+}
+
+uint64_t TaggedRegion::setTagRange(uint64_t From, uint64_t To, TagValue Tag) {
+  From = std::max(From, Begin);
+  To = std::min(To, End);
+  if (From >= To)
+    return 0;
+  uint64_t First = granuleIndex(support::alignDown(From, kGranuleSize), Begin);
+  uint64_t Last = granuleIndex(support::alignTo(To, kGranuleSize), Begin);
+  std::memset(Tags.get() + First, Tag & 0xF, Last - First);
+  return Last - First;
+}
+
+uint64_t TaggedRegion::findMismatch(uint64_t FirstIdx, uint64_t LastIdx,
+                                    TagValue Expected) const {
+  M4J_ASSERT(LastIdx < NumGranules, "granule index out of range");
+  const uint8_t *T = Tags.get();
+  for (uint64_t I = FirstIdx; I <= LastIdx; ++I)
+    if (M4J_UNLIKELY(T[I] != Expected))
+      return I;
+  return UINT64_MAX;
+}
+
+} // namespace mte4jni::mte

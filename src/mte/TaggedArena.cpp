@@ -1,0 +1,83 @@
+//===- TaggedArena.cpp - PROT_MTE native scratch allocator ----------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/mte/TaggedArena.h"
+
+#include "mte4jni/mte/MteSystem.h"
+#include "mte4jni/support/MathExtras.h"
+
+#include <cstring>
+#include <mutex>
+
+namespace mte4jni::mte {
+
+unsigned TaggedArena::sizeClassOf(uint64_t Bytes) {
+  uint64_t Rounded = support::nextPowerOf2(std::max<uint64_t>(Bytes, 16));
+  unsigned Class = support::log2Of(Rounded) - kGranuleShift;
+  M4J_ASSERT(Class < kNumSizeClasses, "allocation too large for arena");
+  return Class;
+}
+
+uint64_t TaggedArena::sizeOfClass(unsigned Class) {
+  return 1ull << (Class + kGranuleShift);
+}
+
+TaggedArena::TaggedArena(uint64_t Bytes) {
+  Capacity = support::alignTo(std::max<uint64_t>(Bytes, kGranuleSize),
+                              kGranuleSize);
+  Storage.reset(new uint8_t[Capacity + kGranuleSize]);
+  uint64_t Raw = reinterpret_cast<uint64_t>(Storage.get());
+  BasePtr = reinterpret_cast<uint8_t *>(support::alignTo(Raw, kGranuleSize));
+  BlockClass.assign(Capacity >> kGranuleShift, 0xFF);
+  MteSystem::instance().registerRegion(BasePtr, Capacity);
+}
+
+TaggedArena::~TaggedArena() {
+  MteSystem::instance().unregisterRegion(BasePtr);
+}
+
+void *TaggedArena::allocate(uint64_t Bytes) {
+  unsigned Class = sizeClassOf(Bytes);
+  uint64_t BlockSize = sizeOfClass(Class);
+  std::lock_guard<support::SpinLock> Guard(Lock);
+  void *Block = nullptr;
+  if (!FreeLists[Class].empty()) {
+    Block = FreeLists[Class].back();
+    FreeLists[Class].pop_back();
+  } else {
+    if (BumpOffset + BlockSize > Capacity)
+      return nullptr;
+    Block = BasePtr + BumpOffset;
+    BumpOffset += BlockSize;
+  }
+  uint64_t GranuleIdx =
+      (reinterpret_cast<uint64_t>(Block) - begin()) >> kGranuleShift;
+  BlockClass[GranuleIdx] = static_cast<uint8_t>(Class);
+  InUse += BlockSize;
+  return Block;
+}
+
+void TaggedArena::deallocate(void *Ptr) {
+  if (!Ptr)
+    return;
+  M4J_ASSERT(contains(Ptr), "deallocate of foreign pointer");
+  std::lock_guard<support::SpinLock> Guard(Lock);
+  uint64_t GranuleIdx =
+      (reinterpret_cast<uint64_t>(Ptr) - begin()) >> kGranuleShift;
+  uint8_t Class = BlockClass[GranuleIdx];
+  M4J_ASSERT(Class != 0xFF, "double free or bad pointer");
+  BlockClass[GranuleIdx] = 0xFF;
+  InUse -= sizeOfClass(Class);
+  FreeLists[Class].push_back(Ptr);
+}
+
+uint64_t TaggedArena::bytesInUse() const {
+  std::lock_guard<support::SpinLock> Guard(Lock);
+  return InUse;
+}
+
+} // namespace mte4jni::mte

@@ -1,0 +1,113 @@
+//===- Tombstone.cpp - Android-style crash report rendering -----------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/mte/Tombstone.h"
+
+#include "mte4jni/mte/MteSystem.h"
+#include "mte4jni/support/StringUtils.h"
+
+namespace mte4jni::mte {
+namespace {
+
+const char *signalCodeOf(const FaultRecord &Record) {
+  switch (Record.Kind) {
+  case FaultKind::TagMismatchSync:
+    return "SEGV_MTESERR";
+  case FaultKind::TagMismatchAsync:
+    return "SEGV_MTEAERR";
+  case FaultKind::GuardedCopyCorruption:
+    return "CHECK_JNI_ABORT";
+  case FaultKind::JniCheckError:
+    return "CHECK_JNI";
+  }
+  return "?";
+}
+
+/// The MTE tag dump: one line per granule around the fault, with the
+/// allocation tag and a marker on the faulting granule.
+void appendTagDump(std::string &Out, const FaultRecord &Record,
+                   const TombstoneOptions &Options) {
+  Out += "memory tags near fault address:\n";
+  if (!Record.HasAddress) {
+    Out += "    (not available: asynchronous MTE reports carry no fault "
+           "address)\n";
+    return;
+  }
+  MteSystem &System = MteSystem::instance();
+  uint64_t Base = support::alignDown(Record.Address, kGranuleSize);
+  for (int D = -int(Options.TagDumpRadius);
+       D <= int(Options.TagDumpRadius); ++D) {
+    uint64_t Addr =
+        Base + static_cast<uint64_t>(D) * kGranuleSize;
+    if (Addr > Base && D < 0)
+      continue; // underflowed below zero
+    bool Mapped = System.isTaggedAddress(Addr);
+    if (Mapped) {
+      TagValue Tag = System.memoryTagAt(Addr);
+      Out += support::format("    %016llx: tag %2u %s%s\n",
+                             static_cast<unsigned long long>(Addr),
+                             unsigned(Tag),
+                             Tag == Record.PointerTag ? "(matches ptr)"
+                                                      : "             ",
+                             D == 0 ? "  <-- fault here, ptr tag " : "");
+    } else {
+      Out += support::format("    %016llx: <not PROT_MTE>%s\n",
+                             static_cast<unsigned long long>(Addr),
+                             D == 0 ? "  <-- fault here" : "");
+    }
+    if (D == 0 && Mapped)
+      Out += support::format("                      (pointer tag %u, "
+                             "memory tag %u)\n",
+                             unsigned(Record.PointerTag),
+                             unsigned(Record.MemoryTag));
+  }
+}
+
+} // namespace
+
+std::string renderTombstone(const FaultRecord &Record,
+                            const TombstoneOptions &Options) {
+  std::string Out;
+  Out += "*** *** *** *** *** *** *** *** *** *** *** *** *** *** *** "
+         "***\n";
+  Out += "Build fingerprint: "
+         "'mte4jni/simulator/x86_64:14/SIM.240101.001/1:userdebug'\n";
+  Out += support::format("pid: %d, tid: %llu, name: %s\n", Options.Pid,
+                         static_cast<unsigned long long>(Record.ThreadId),
+                         Options.ProcessName.c_str());
+  if (Record.HasAddress)
+    Out += support::format(
+        "signal 11 (SIGSEGV), code 9 (%s), fault addr 0x%016llx\n",
+        signalCodeOf(Record), static_cast<unsigned long long>(Record.Address));
+  else
+    Out += support::format(
+        "signal 11 (SIGSEGV), code 8 (%s), fault addr --------\n",
+        signalCodeOf(Record));
+  if (!Record.DeliveredAtSyscall.empty())
+    Out += support::format("note: delivered at syscall %s (asynchronous "
+                           "MTE mode)\n",
+                           Record.DeliveredAtSyscall.c_str());
+  if (!Record.Description.empty())
+    Out += "Abort message: '" + Record.Description + "'\n";
+
+  Out += support::renderBacktrace(Record.Backtrace);
+  appendTagDump(Out, Record, Options);
+  Out += "*** *** *** *** *** *** *** *** *** *** *** *** *** *** *** "
+         "***\n";
+  return Out;
+}
+
+bool renderLatestTombstone(std::string &Out,
+                           const TombstoneOptions &Options) {
+  auto Records = MteSystem::instance().faultLog().snapshot();
+  if (Records.empty())
+    return false;
+  Out = renderTombstone(Records.back(), Options);
+  return true;
+}
+
+} // namespace mte4jni::mte

@@ -1,0 +1,179 @@
+//===- Gc.cpp - Stop-the-world mark-sweep collector --------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/rt/Gc.h"
+
+#include "mte4jni/mte/Access.h"
+#include "mte4jni/mte/ThreadState.h"
+#include "mte4jni/rt/Runtime.h"
+#include "mte4jni/support/Backtrace.h"
+#include "mte4jni/support/Syscall.h"
+#include "mte4jni/support/TraceEvents.h"
+
+#include <chrono>
+#include <unordered_map>
+#include <vector>
+
+namespace mte4jni::rt {
+
+GcController::GcController(Runtime &RT, const GcConfig &Config)
+    : RT(RT), Config(Config) {}
+
+GcController::~GcController() { stop(); }
+
+void GcController::start() {
+  if (Running.exchange(true))
+    return;
+  StopRequested.store(false);
+  Worker = std::thread([this] { backgroundLoop(); });
+}
+
+void GcController::stop() {
+  if (!Running.exchange(false))
+    return;
+  {
+    std::lock_guard<std::mutex> Guard(WakeLock);
+    StopRequested.store(true);
+  }
+  WakeCv.notify_all();
+  if (Worker.joinable())
+    Worker.join();
+}
+
+void GcController::backgroundLoop() {
+  // The GC is a runtime support thread: its heap pointers are untagged and
+  // never pass through JNI. With correct §3.3 TCO handling its checks stay
+  // suppressed; the SuppressTagChecks=false configuration reproduces the
+  // crash the paper warns about.
+  mte::ThreadState::current().setTco(Config.SuppressTagChecks);
+  support::ScopedFrame GcFrame("art::gc::ConcurrentGCTask", "libart.so");
+
+  while (!StopRequested.load(std::memory_order_acquire)) {
+    collect();
+    // Sleeping is a syscall (nanosleep): async faults latched during the
+    // verify pass surface here.
+    support::syscallBarrier("nanosleep");
+    std::unique_lock<std::mutex> Guard(WakeLock);
+    WakeCv.wait_for(Guard, std::chrono::milliseconds(Config.IntervalMillis),
+                    [this] { return StopRequested.load(); });
+  }
+}
+
+GcResult GcController::collect() {
+  GcResult Result;
+  // The collector is runtime-internal code: whatever thread drives it, its
+  // heap walks use untagged pointers and must run with the configured TCO
+  // (suppressed under correct §3.3 handling; the broken-configuration demo
+  // sets SuppressTagChecks=false to reproduce the spurious faults).
+  mte::ScopedTco TcoForGc(Config.SuppressTagChecks);
+  support::ScopedTrace Trace("GC.collect", "gc");
+  RT.beginPause();
+
+  // Mark phase: everything TRANSITIVELY reachable from handle-scope
+  // roots; reference arrays are traced through their slots.
+  std::vector<ObjectHeader *> Roots = RT.snapshotRoots();
+  RT.heap().forEachObject([&](ObjectHeader *Obj) {
+    Obj->setMarked(false);
+    ++Result.ObjectsScanned;
+  });
+  std::vector<ObjectHeader *> Worklist(Roots.begin(), Roots.end());
+  while (!Worklist.empty()) {
+    ObjectHeader *Obj = Worklist.back();
+    Worklist.pop_back();
+    if (Obj->isMarked())
+      continue;
+    Obj->setMarked(true);
+    if (Obj->kind() == ObjectKind::RefArray) {
+      ObjectHeader **Slots = refArraySlots(Obj);
+      for (uint32_t I = 0; I < Obj->Length; ++I)
+        if (Slots[I] && !Slots[I]->isMarked())
+          Worklist.push_back(Slots[I]);
+    }
+  }
+
+  // Sweep phase: free unmarked, unpinned objects.
+  std::vector<ObjectHeader *> Dead;
+  RT.heap().forEachObject([&](ObjectHeader *Obj) {
+    if (!Obj->isMarked() && Obj->pinCount() == 0)
+      Dead.push_back(Obj);
+  });
+  for (ObjectHeader *Obj : Dead) {
+    Result.BytesFreed += Obj->SizeBytes;
+    RT.heap().free(Obj);
+    ++Result.ObjectsFreed;
+  }
+
+  // Compaction phase (mark-compact mode): slide survivors toward the
+  // heap base; JNI-pinned objects stay in place. Roots are rewritten.
+  if (Config.Mode == GcMode::Compacting) {
+    auto Moved = RT.heap().compact();
+    Result.ObjectsMoved = Moved.size();
+    RT.updateRootsAfterMove(Moved);
+    // Reference-array slots hold object pointers too: rewrite them.
+    if (!Moved.empty()) {
+      std::unordered_map<ObjectHeader *, ObjectHeader *> Map(Moved.begin(),
+                                                             Moved.end());
+      RT.heap().forEachObject([&](ObjectHeader *Obj) {
+        if (Obj->kind() != ObjectKind::RefArray)
+          return;
+        ObjectHeader **Slots = refArraySlots(Obj);
+        for (uint32_t I = 0; I < Obj->Length; ++I) {
+          auto It = Map.find(Slots[I]);
+          if (It != Map.end())
+            Slots[I] = It->second;
+        }
+      });
+    }
+    uint64_t Pinned = 0;
+    RT.heap().forEachObject([&](ObjectHeader *Obj) {
+      if (Obj->pinCount() > 0)
+        ++Pinned;
+    });
+    Result.ObjectsPinnedInPlace = Pinned;
+  }
+
+  // Optional verification pass (reads payloads with untagged pointers).
+  if (Config.VerifyObjectBodies) {
+    Result.ObjectsVerified = 0;
+    Result.PayloadBytesVerified = 0;
+    verifyPass(Result);
+  }
+
+  RT.endPause();
+  Cycles.fetch_add(1, std::memory_order_relaxed);
+  return Result;
+}
+
+void GcController::verifyPass(GcResult &Result) {
+  support::ScopedFrame Frame("art::gc::VerifyHeapReferences", "libart.so");
+  support::ScopedTrace Trace("GC.verify", "gc");
+  uint8_t Sink = 0;
+  RT.heap().forEachObject([&](ObjectHeader *Obj) {
+    // Header read (its granule is never tagged: headers are metadata).
+    Sink ^= static_cast<uint8_t>(Obj->Length);
+    // Payload read through an *untagged* pointer — exactly the access the
+    // paper's §3.3 says would fault if this thread's checks were enabled
+    // while a native thread holds the object tagged.
+    const uint64_t Bytes = Obj->dataBytes();
+    auto Ptr = mte::TaggedPtr<const uint8_t>::fromRaw(
+        static_cast<const uint8_t *>(Obj->data()), 0);
+    uint64_t Step = mte::kGranuleSize;
+    for (uint64_t Offset = 0; Offset < Bytes; Offset += Step)
+      Sink ^= mte::load<const uint8_t>(Ptr + static_cast<ptrdiff_t>(Offset));
+    ++Result.ObjectsVerified;
+    Result.PayloadBytesVerified += Bytes;
+  });
+  VerifySink = Sink;
+}
+
+uint64_t GcController::verifyHeap() {
+  GcResult Result;
+  verifyPass(Result);
+  return Result.ObjectsVerified;
+}
+
+} // namespace mte4jni::rt

@@ -1,0 +1,26 @@
+//===- Handle.cpp - GC root scopes --------------------------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/rt/Handle.h"
+
+#include "mte4jni/rt/Runtime.h"
+
+#include <algorithm>
+
+namespace mte4jni::rt {
+
+HandleScope::HandleScope(Runtime &RT) : RT(RT) { RT.registerScope(this); }
+
+HandleScope::~HandleScope() { RT.unregisterScope(this); }
+
+void HandleScope::unroot(ObjectHeader *Obj) {
+  auto It = std::find(Roots.begin(), Roots.end(), Obj);
+  if (It != Roots.end())
+    Roots.erase(It);
+}
+
+} // namespace mte4jni::rt

@@ -1,0 +1,181 @@
+//===- Heap.cpp - Mini-ART Java heap allocator -----------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/rt/Heap.h"
+
+#include "mte4jni/mte/Instructions.h"
+#include "mte4jni/mte/MteSystem.h"
+#include "mte4jni/mte/Tag.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace mte4jni::rt {
+
+JavaHeap::JavaHeap(const HeapConfig &Config) : Config(Config) {
+  M4J_ASSERT(Config.Alignment == 8 || Config.Alignment == 16,
+             "heap alignment must be 8 (stock ART) or 16 (MTE4JNI)");
+  M4J_ASSERT(!Config.TagOnAlloc ||
+                 (Config.ProtMte && Config.Alignment == 16),
+             "TagOnAlloc requires a PROT_MTE heap with 16-byte alignment");
+  this->Config.CapacityBytes =
+      support::alignTo(Config.CapacityBytes, mte::kGranuleSize);
+  Storage.reset(new uint8_t[this->Config.CapacityBytes + mte::kGranuleSize]);
+  Base = support::alignTo(reinterpret_cast<uint64_t>(Storage.get()),
+                          mte::kGranuleSize);
+  if (Config.ProtMte)
+    mte::MteSystem::instance().registerRegion(
+        reinterpret_cast<void *>(Base), this->Config.CapacityBytes);
+}
+
+JavaHeap::~JavaHeap() {
+  if (Config.ProtMte)
+    mte::MteSystem::instance().unregisterRegion(
+        reinterpret_cast<void *>(Base));
+}
+
+ObjectHeader *JavaHeap::allocObject(uint32_t ClassWord, uint32_t Length,
+                                    uint64_t PayloadBytes) {
+  uint64_t Size = support::alignTo(sizeof(ObjectHeader) + PayloadBytes,
+                                   Config.Alignment);
+  if (Size > UINT32_MAX)
+    return nullptr;
+
+  std::lock_guard<std::mutex> Guard(Lock);
+  uint64_t Addr = 0;
+  auto It = FreeLists.find(Size);
+  if (It != FreeLists.end() && !It->second.empty()) {
+    Addr = It->second.back();
+    It->second.pop_back();
+    ++Stats.FreeListHits;
+  } else {
+    uint64_t Aligned = support::alignTo(Base + BumpOffset, Config.Alignment);
+    if (Aligned + Size > Base + Config.CapacityBytes)
+      return nullptr; // OutOfMemoryError territory
+    Addr = Aligned;
+    BumpOffset = (Aligned + Size) - Base;
+  }
+
+  auto *Obj = reinterpret_cast<ObjectHeader *>(Addr);
+  Obj->ClassWord = ClassWord;
+  Obj->Length = Length;
+  Obj->SizeBytes = static_cast<uint32_t>(Size);
+  Obj->Flags = 0;
+  std::memset(Obj->data(), 0, Size - sizeof(ObjectHeader));
+
+  // Tag-on-allocation ablation: colour the payload now, once, for the
+  // object's whole lifetime.
+  if (Config.TagOnAlloc && Size > sizeof(ObjectHeader)) {
+    auto Tagged = mte::irg(mte::TaggedPtr<void>::fromRaw(Obj->data(), 0));
+    mte::setTagRange(Tagged, Size - sizeof(ObjectHeader));
+  }
+
+  LiveObjects.insert(Obj);
+  Stats.BytesAllocated += Size;
+  Stats.BytesLive += Size;
+  ++Stats.ObjectsAllocated;
+  ++Stats.ObjectsLive;
+  return Obj;
+}
+
+ObjectHeader *JavaHeap::allocPrimArray(PrimType Elem, uint32_t Length) {
+  return allocObject(makeClassWord(ObjectKind::PrimArray, Elem), Length,
+                     static_cast<uint64_t>(Length) * primSize(Elem));
+}
+
+ObjectHeader *JavaHeap::allocString(uint32_t Length) {
+  return allocObject(makeClassWord(ObjectKind::String, PrimType::Char),
+                     Length, static_cast<uint64_t>(Length) * 2);
+}
+
+ObjectHeader *JavaHeap::allocRefArray(uint32_t Length) {
+  return allocObject(makeClassWord(ObjectKind::RefArray, PrimType::Long),
+                     Length,
+                     static_cast<uint64_t>(Length) * sizeof(ObjectHeader *));
+}
+
+void JavaHeap::free(ObjectHeader *Obj) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  auto It = LiveObjects.find(Obj);
+  M4J_ASSERT(It != LiveObjects.end(), "freeing unknown object");
+  LiveObjects.erase(It);
+  uint64_t Size = Obj->SizeBytes;
+  Stats.BytesLive -= Size;
+  --Stats.ObjectsLive;
+  ++Stats.ObjectsFreed;
+  if (Config.TagOnAlloc && Size > sizeof(ObjectHeader))
+    mte::clearTagRange(Obj->dataAddress(), Size - sizeof(ObjectHeader));
+  // Poison the header so stale references are recognisable in tests.
+  Obj->ClassWord = 0xDEADDEAD;
+  FreeLists[Size].push_back(reinterpret_cast<uint64_t>(Obj));
+}
+
+std::vector<std::pair<ObjectHeader *, ObjectHeader *>> JavaHeap::compact() {
+  std::lock_guard<std::mutex> Guard(Lock);
+
+  // Live objects in address order.
+  std::vector<ObjectHeader *> Sorted(LiveObjects.begin(), LiveObjects.end());
+  std::sort(Sorted.begin(), Sorted.end());
+
+  std::vector<std::pair<ObjectHeader *, ObjectHeader *>> Moved;
+  uint64_t Cursor = Base;
+  for (ObjectHeader *Obj : Sorted) {
+    uint64_t Size = Obj->SizeBytes;
+    if (Obj->pinCount() > 0) {
+      // Pinned by JNI: native code holds a raw pointer; must not move.
+      // The compaction cursor jumps over it.
+      Cursor = std::max(Cursor,
+                        reinterpret_cast<uint64_t>(Obj) + Size);
+      continue;
+    }
+    uint64_t Target = support::alignTo(Cursor, Config.Alignment);
+    if (Target >= reinterpret_cast<uint64_t>(Obj)) {
+      // Already packed (or a pinned object blocks any gain).
+      Cursor = reinterpret_cast<uint64_t>(Obj) + Size;
+      continue;
+    }
+    std::memmove(reinterpret_cast<void *>(Target), Obj, Size);
+    auto *NewObj = reinterpret_cast<ObjectHeader *>(Target);
+    Moved.emplace_back(Obj, NewObj);
+    Cursor = Target + Size;
+  }
+
+  // Rebuild the liveness index and reset the allocation frontier: all
+  // fragmentation is gone, so the free lists die too.
+  for (auto &[Old, New] : Moved) {
+    LiveObjects.erase(Old);
+    LiveObjects.insert(New);
+  }
+  // The frontier is one past the highest live byte.
+  uint64_t Frontier = Base;
+  for (ObjectHeader *Obj : LiveObjects)
+    Frontier = std::max(Frontier,
+                        reinterpret_cast<uint64_t>(Obj) + Obj->SizeBytes);
+  BumpOffset = Frontier - Base;
+  FreeLists.clear();
+  return Moved;
+}
+
+void JavaHeap::forEachObject(
+    const std::function<void(ObjectHeader *)> &Fn) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  for (ObjectHeader *Obj : LiveObjects)
+    Fn(Obj);
+}
+
+bool JavaHeap::isLiveObject(ObjectHeader *Ptr) const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return LiveObjects.count(Ptr) != 0;
+}
+
+HeapStats JavaHeap::stats() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Stats;
+}
+
+} // namespace mte4jni::rt

@@ -1,0 +1,163 @@
+//===- JavaString.cpp - UTF-16 string objects and UTF-8 conversion ---------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/rt/JavaString.h"
+
+#include "mte4jni/rt/Heap.h"
+
+#include <cstring>
+
+namespace mte4jni::rt {
+namespace {
+
+constexpr uint32_t kReplacementChar = 0xFFFD;
+
+/// Appends one Unicode scalar as UTF-8.
+void appendUtf8(std::string &Out, uint32_t Scalar) {
+  if (Scalar < 0x80) {
+    Out.push_back(static_cast<char>(Scalar));
+  } else if (Scalar < 0x800) {
+    Out.push_back(static_cast<char>(0xC0 | (Scalar >> 6)));
+    Out.push_back(static_cast<char>(0x80 | (Scalar & 0x3F)));
+  } else if (Scalar < 0x10000) {
+    Out.push_back(static_cast<char>(0xE0 | (Scalar >> 12)));
+    Out.push_back(static_cast<char>(0x80 | ((Scalar >> 6) & 0x3F)));
+    Out.push_back(static_cast<char>(0x80 | (Scalar & 0x3F)));
+  } else {
+    Out.push_back(static_cast<char>(0xF0 | (Scalar >> 18)));
+    Out.push_back(static_cast<char>(0x80 | ((Scalar >> 12) & 0x3F)));
+    Out.push_back(static_cast<char>(0x80 | ((Scalar >> 6) & 0x3F)));
+    Out.push_back(static_cast<char>(0x80 | (Scalar & 0x3F)));
+  }
+}
+
+/// Number of UTF-8 bytes for one scalar.
+size_t utf8BytesFor(uint32_t Scalar) {
+  if (Scalar < 0x80)
+    return 1;
+  if (Scalar < 0x800)
+    return 2;
+  if (Scalar < 0x10000)
+    return 3;
+  return 4;
+}
+
+/// Decodes the next scalar out of a UTF-16 unit sequence; advances I.
+uint32_t nextScalarUtf16(std::u16string_view Units, size_t &I) {
+  uint16_t Unit = Units[I++];
+  if (Unit >= 0xD800 && Unit <= 0xDBFF) {
+    // High surrogate: needs a following low surrogate.
+    if (I < Units.size() && Units[I] >= 0xDC00 && Units[I] <= 0xDFFF) {
+      uint16_t Low = Units[I++];
+      return 0x10000 + ((uint32_t(Unit) - 0xD800) << 10) +
+             (uint32_t(Low) - 0xDC00);
+    }
+    return kReplacementChar; // unpaired high surrogate
+  }
+  if (Unit >= 0xDC00 && Unit <= 0xDFFF)
+    return kReplacementChar; // unpaired low surrogate
+  return Unit;
+}
+
+} // namespace
+
+ObjectHeader *newString(JavaHeap &Heap, std::u16string_view Units) {
+  ObjectHeader *Str =
+      Heap.allocString(static_cast<uint32_t>(Units.size()));
+  if (!Str)
+    return nullptr;
+  std::memcpy(Str->data(), Units.data(), Units.size() * 2);
+  return Str;
+}
+
+ObjectHeader *newStringUtf8(JavaHeap &Heap, std::string_view Utf8) {
+  std::u16string Units = utf8ToUtf16(Utf8);
+  return newString(Heap, Units);
+}
+
+size_t utf8Length(const ObjectHeader *Str) {
+  std::u16string_view Units(
+      reinterpret_cast<const char16_t *>(stringChars(Str)), Str->Length);
+  size_t Bytes = 0;
+  size_t I = 0;
+  while (I < Units.size())
+    Bytes += utf8BytesFor(nextScalarUtf16(Units, I));
+  return Bytes;
+}
+
+void toUtf8(const ObjectHeader *Str, std::string &Out) {
+  Out.clear();
+  std::u16string_view Units(
+      reinterpret_cast<const char16_t *>(stringChars(Str)), Str->Length);
+  Out = utf16ToUtf8(Units);
+}
+
+std::u16string utf8ToUtf16(std::string_view Utf8) {
+  std::u16string Out;
+  Out.reserve(Utf8.size());
+  size_t I = 0;
+  auto Cont = [&](size_t Offset) -> int {
+    if (I + Offset >= Utf8.size())
+      return -1;
+    uint8_t B = static_cast<uint8_t>(Utf8[I + Offset]);
+    return (B & 0xC0) == 0x80 ? (B & 0x3F) : -1;
+  };
+  while (I < Utf8.size()) {
+    uint8_t B0 = static_cast<uint8_t>(Utf8[I]);
+    uint32_t Scalar = kReplacementChar;
+    size_t Consumed = 1;
+    if (B0 < 0x80) {
+      Scalar = B0;
+    } else if ((B0 & 0xE0) == 0xC0) {
+      int C1 = Cont(1);
+      if (C1 >= 0) {
+        Scalar = (uint32_t(B0 & 0x1F) << 6) | uint32_t(C1);
+        Consumed = 2;
+        if (Scalar < 0x80)
+          Scalar = kReplacementChar; // overlong
+      }
+    } else if ((B0 & 0xF0) == 0xE0) {
+      int C1 = Cont(1), C2 = Cont(2);
+      if (C1 >= 0 && C2 >= 0) {
+        Scalar = (uint32_t(B0 & 0x0F) << 12) | (uint32_t(C1) << 6) |
+                 uint32_t(C2);
+        Consumed = 3;
+        if (Scalar < 0x800 || (Scalar >= 0xD800 && Scalar <= 0xDFFF))
+          Scalar = kReplacementChar; // overlong or surrogate
+      }
+    } else if ((B0 & 0xF8) == 0xF0) {
+      int C1 = Cont(1), C2 = Cont(2), C3 = Cont(3);
+      if (C1 >= 0 && C2 >= 0 && C3 >= 0) {
+        Scalar = (uint32_t(B0 & 0x07) << 18) | (uint32_t(C1) << 12) |
+                 (uint32_t(C2) << 6) | uint32_t(C3);
+        Consumed = 4;
+        if (Scalar < 0x10000 || Scalar > 0x10FFFF)
+          Scalar = kReplacementChar; // overlong or out of range
+      }
+    }
+    I += Consumed;
+    if (Scalar >= 0x10000) {
+      uint32_t V = Scalar - 0x10000;
+      Out.push_back(static_cast<char16_t>(0xD800 + (V >> 10)));
+      Out.push_back(static_cast<char16_t>(0xDC00 + (V & 0x3FF)));
+    } else {
+      Out.push_back(static_cast<char16_t>(Scalar));
+    }
+  }
+  return Out;
+}
+
+std::string utf16ToUtf8(std::u16string_view Units) {
+  std::string Out;
+  Out.reserve(Units.size());
+  size_t I = 0;
+  while (I < Units.size())
+    appendUtf8(Out, nextScalarUtf16(Units, I));
+  return Out;
+}
+
+} // namespace mte4jni::rt

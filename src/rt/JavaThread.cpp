@@ -1,0 +1,62 @@
+//===- JavaThread.cpp - Mini-ART thread states ------------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/rt/JavaThread.h"
+
+#include "mte4jni/mte/ThreadState.h"
+#include "mte4jni/rt/Runtime.h"
+
+namespace mte4jni::rt {
+namespace {
+thread_local JavaThread *CurrentThread = nullptr;
+} // namespace
+
+JavaThread *JavaThread::currentOrNull() { return CurrentThread; }
+
+JavaThread &JavaThread::current() {
+  M4J_ASSERT(CurrentThread != nullptr, "thread not attached to the runtime");
+  return *CurrentThread;
+}
+
+JavaThread::JavaThread(Runtime &RT, std::string Name, ThreadKind Kind)
+    : RT(RT), Name(std::move(Name)), Kind(Kind) {
+  CurrentThread = this;
+  if (RT.config().TagChecksInNative) {
+    // Under the MTE4JNI schemes every attached thread starts with TCO set:
+    // managed code and support threads must not be tag-checked. Only the
+    // native-method trampolines clear it (§3.3).
+    mte::ThreadState::current().setTco(true);
+  }
+}
+
+JavaThread::~JavaThread() {
+  // Clear the TLS slot when the thread detaches itself; when the runtime
+  // tears down leftover threads from another thread, leave that thread's
+  // slot alone.
+  if (CurrentThread == this)
+    CurrentThread = nullptr;
+}
+
+void JavaThread::transitionToNative() {
+  M4J_ASSERT(State == JavaThreadState::Runnable,
+             "nested native transition");
+  State = JavaThreadState::InNative;
+  // §4.3: for regular native methods the TCO toggle is inserted inside the
+  // thread state transition function.
+  if (RT.config().TagChecksInNative)
+    mte::ThreadState::current().setTco(false); // enable tag checks
+}
+
+void JavaThread::transitionToRunnable() {
+  M4J_ASSERT(State == JavaThreadState::InNative,
+             "transitionToRunnable outside native");
+  if (RT.config().TagChecksInNative)
+    mte::ThreadState::current().setTco(true); // suppress tag checks again
+  State = JavaThreadState::Runnable;
+}
+
+} // namespace mte4jni::rt

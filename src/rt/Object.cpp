@@ -1,0 +1,34 @@
+//===- Object.cpp - Mini-ART object model ----------------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/rt/Object.h"
+
+namespace mte4jni::rt {
+
+const char *primTypeName(PrimType Type) {
+  switch (Type) {
+  case PrimType::Boolean:
+    return "boolean";
+  case PrimType::Byte:
+    return "byte";
+  case PrimType::Char:
+    return "char";
+  case PrimType::Short:
+    return "short";
+  case PrimType::Int:
+    return "int";
+  case PrimType::Long:
+    return "long";
+  case PrimType::Float:
+    return "float";
+  case PrimType::Double:
+    return "double";
+  }
+  return "?";
+}
+
+} // namespace mte4jni::rt

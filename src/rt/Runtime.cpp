@@ -1,0 +1,215 @@
+//===- Runtime.cpp - Mini-ART runtime ---------------------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/rt/Runtime.h"
+
+#include "mte4jni/mte/MteSystem.h"
+#include "mte4jni/mte/ThreadState.h"
+#include "mte4jni/rt/JavaString.h"
+#include "mte4jni/support/Syscall.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+namespace mte4jni::rt {
+namespace {
+Runtime *LiveRuntime = nullptr;
+thread_local std::unique_ptr<JavaThread> AttachedThread;
+} // namespace
+
+Runtime *Runtime::currentOrNull() { return LiveRuntime; }
+
+Runtime::Runtime(const RuntimeConfig &Config) : Config(Config) {
+  M4J_ASSERT(LiveRuntime == nullptr,
+             "only one Runtime may be live at a time");
+  M4J_ASSERT(!(Config.Heap.TagOnAlloc &&
+               Config.Gc.Mode == GcMode::Compacting),
+             "TagOnAlloc is incompatible with the compacting GC "
+             "(allocation tags do not move with objects)");
+
+  // Configure the process-wide MTE simulator for this scheme, like an app
+  // process would at startup: reset, seed, prctl(TCF mode).
+  mte::MteSystem &System = mte::MteSystem::instance();
+  System.reset();
+  System.setRngSeed(Config.Seed);
+  System.setProcessCheckMode(Config.CheckMode);
+
+  Heap = std::make_unique<JavaHeap>(Config.Heap);
+  Gc = std::make_unique<GcController>(*this, Config.Gc);
+
+  LiveRuntime = this;
+  if (Config.Gc.BackgroundThread)
+    Gc->start();
+}
+
+Runtime::~Runtime() {
+  Gc->stop();
+  Gc.reset();
+  Heap.reset();
+  mte::MteSystem::instance().setProcessCheckMode(mte::CheckMode::None);
+  LiveRuntime = nullptr;
+}
+
+JavaThread &Runtime::attachCurrentThread(std::string Name, ThreadKind Kind) {
+  M4J_ASSERT(JavaThread::currentOrNull() == nullptr,
+             "thread already attached");
+  AttachedThread.reset(new JavaThread(*this, std::move(Name), Kind));
+  // Thread attach enters the kernel (clone/futex): a syscall boundary.
+  support::syscallBarrier("clone");
+  return *AttachedThread;
+}
+
+void Runtime::detachCurrentThread() {
+  M4J_ASSERT(AttachedThread != nullptr, "thread not attached");
+  // Thread teardown is a syscall boundary: pending async MTE faults for
+  // this thread surface no later than here.
+  support::syscallBarrier("exit");
+  if (Config.TagChecksInNative)
+    mte::ThreadState::current().setTco(false); // restore hardware default
+  AttachedThread.reset();
+}
+
+ObjectHeader *Runtime::newPrimArray(HandleScope &Scope, PrimType Elem,
+                                    uint32_t Length) {
+  ObjectHeader *Obj = Heap->allocPrimArray(Elem, Length);
+  if (M4J_UNLIKELY(!Obj)) {
+    // Like ART: collect and retry once before surfacing OutOfMemoryError.
+    Gc->collect();
+    Obj = Heap->allocPrimArray(Elem, Length);
+  }
+  return Scope.root(Obj);
+}
+
+ObjectHeader *Runtime::newRefArray(HandleScope &Scope, uint32_t Length) {
+  ObjectHeader *Obj = Heap->allocRefArray(Length);
+  if (M4J_UNLIKELY(!Obj)) {
+    Gc->collect();
+    Obj = Heap->allocRefArray(Length);
+  }
+  return Scope.root(Obj);
+}
+
+ObjectHeader *Runtime::newString(HandleScope &Scope,
+                                 std::u16string_view Units) {
+  return Scope.root(rt::newString(*Heap, Units));
+}
+
+ObjectHeader *Runtime::newStringUtf8(HandleScope &Scope,
+                                     std::string_view Utf8) {
+  return Scope.root(rt::newStringUtf8(*Heap, Utf8));
+}
+
+void Runtime::registerScope(HandleScope *Scope) {
+  std::lock_guard<std::mutex> Guard(ScopeLock);
+  Scopes.push_back(Scope);
+}
+
+void Runtime::unregisterScope(HandleScope *Scope) {
+  std::lock_guard<std::mutex> Guard(ScopeLock);
+  auto It = std::find(Scopes.begin(), Scopes.end(), Scope);
+  M4J_ASSERT(It != Scopes.end(), "unregistering unknown scope");
+  Scopes.erase(It);
+}
+
+std::vector<ObjectHeader *> Runtime::snapshotRoots() const {
+  std::lock_guard<std::mutex> Guard(ScopeLock);
+  std::vector<ObjectHeader *> Roots;
+  for (const HandleScope *Scope : Scopes)
+    Roots.insert(Roots.end(), Scope->roots().begin(), Scope->roots().end());
+  return Roots;
+}
+
+void Runtime::updateRootsAfterMove(
+    const std::vector<std::pair<ObjectHeader *, ObjectHeader *>> &Moved) {
+  if (Moved.empty())
+    return;
+  std::unordered_map<ObjectHeader *, ObjectHeader *> Map;
+  Map.reserve(Moved.size());
+  for (auto &[Old, New] : Moved)
+    Map.emplace(Old, New);
+  std::lock_guard<std::mutex> Guard(ScopeLock);
+  for (HandleScope *Scope : Scopes)
+    for (ObjectHeader *&Slot : Scope->mutableRoots()) {
+      auto It = Map.find(Slot);
+      if (It != Map.end())
+        Slot = It->second;
+    }
+}
+
+void Runtime::enterCritical() {
+  JavaThread *Thread = JavaThread::currentOrNull();
+  // Re-entrant enter while this thread already holds a critical section
+  // must not block (the GC cannot have started in between).
+  if (Thread && Thread->CriticalDepth > 0) {
+    ++Thread->CriticalDepth;
+    CriticalCount.fetch_add(1, std::memory_order_acq_rel);
+    return;
+  }
+  for (;;) {
+    // Fast path: no pause pending — one RMW, no mutex.
+    if (M4J_LIKELY(!PauseActive.load(std::memory_order_acquire))) {
+      CriticalCount.fetch_add(1, std::memory_order_acq_rel);
+      // Re-check: a pause may have begun between the load and the
+      // increment; back out so the collector is not stalled forever.
+      if (M4J_LIKELY(!PauseActive.load(std::memory_order_acquire)))
+        break;
+      uint32_t Prev = CriticalCount.fetch_sub(1, std::memory_order_acq_rel);
+      if (Prev == 1) {
+        std::lock_guard<std::mutex> Guard(PauseLock);
+        PauseCv.notify_all();
+      }
+    }
+    // Slow path: wait for the pause to finish.
+    std::unique_lock<std::mutex> Guard(PauseLock);
+    PauseCv.wait(Guard, [this] {
+      return !PauseActive.load(std::memory_order_acquire);
+    });
+  }
+  if (Thread)
+    ++Thread->CriticalDepth;
+}
+
+void Runtime::exitCritical() {
+  JavaThread *Thread = JavaThread::currentOrNull();
+  if (Thread) {
+    M4J_ASSERT(Thread->CriticalDepth > 0, "exitCritical underflow");
+    --Thread->CriticalDepth;
+  }
+  uint32_t Prev = CriticalCount.fetch_sub(1, std::memory_order_acq_rel);
+  M4J_ASSERT(Prev > 0, "critical count underflow");
+  if (M4J_UNLIKELY(Prev == 1 &&
+                   PauseActive.load(std::memory_order_acquire))) {
+    std::lock_guard<std::mutex> Guard(PauseLock);
+    PauseCv.notify_all();
+  }
+}
+
+void Runtime::beginPause() {
+  std::unique_lock<std::mutex> Guard(PauseLock);
+  PauseCv.wait(Guard, [this] {
+    return !PauseActive.load(std::memory_order_acquire);
+  });
+  PauseActive.store(true, std::memory_order_release);
+  // Wait for outstanding critical sections to drain. Re-signalled by
+  // exitCritical; poll with a timeout to cover the unlocked-decrement race.
+  PauseCv.wait_for(Guard, std::chrono::milliseconds(1), [this] {
+    return CriticalCount.load(std::memory_order_acquire) == 0;
+  });
+  while (CriticalCount.load(std::memory_order_acquire) != 0)
+    PauseCv.wait_for(Guard, std::chrono::milliseconds(1), [this] {
+      return CriticalCount.load(std::memory_order_acquire) == 0;
+    });
+}
+
+void Runtime::endPause() {
+  std::lock_guard<std::mutex> Guard(PauseLock);
+  PauseActive.store(false, std::memory_order_release);
+  PauseCv.notify_all();
+}
+
+} // namespace mte4jni::rt

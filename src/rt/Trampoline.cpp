@@ -1,0 +1,24 @@
+//===- Trampoline.cpp - Native method call bridges ----------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/rt/Trampoline.h"
+
+namespace mte4jni::rt {
+
+const char *nativeKindName(NativeKind Kind) {
+  switch (Kind) {
+  case NativeKind::Regular:
+    return "regular";
+  case NativeKind::FastNative:
+    return "@FastNative";
+  case NativeKind::CriticalNative:
+    return "@CriticalNative";
+  }
+  return "?";
+}
+
+} // namespace mte4jni::rt

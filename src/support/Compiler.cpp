@@ -1,0 +1,27 @@
+//===- Compiler.cpp - Assertion failure reporting -----------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/support/Compiler.h"
+
+namespace mte4jni::support {
+
+void assertFail(const char *Cond, const char *Msg, const char *File,
+                int Line) {
+  std::fprintf(stderr, "mte4jni: assertion `%s` failed at %s:%d: %s\n", Cond,
+               File, Line, Msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void unreachableHit(const char *Msg, const char *File, int Line) {
+  std::fprintf(stderr, "mte4jni: unreachable reached at %s:%d: %s\n", File,
+               Line, Msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+} // namespace mte4jni::support

@@ -1,0 +1,118 @@
+//===- Logging.cpp - logcat-style in-process logger --------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/support/Logging.h"
+
+#include "mte4jni/support/StringUtils.h"
+#include "mte4jni/support/Syscall.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace mte4jni::support {
+namespace {
+
+constexpr size_t kCapacity = 4096;
+
+struct LogState {
+  std::mutex Lock;
+  std::deque<LogRecord> Records;
+  std::atomic<bool> Echo{false};
+};
+
+LogState &state() {
+  static LogState S;
+  return S;
+}
+
+uint64_t currentThreadId() {
+  return std::hash<std::thread::id>()(std::this_thread::get_id());
+}
+
+void writeImpl(LogSeverity Severity, const char *Tag, const char *Fmt,
+               va_list Args) {
+  LogBuffer::write(Severity, Tag, formatV(Fmt, Args));
+}
+
+} // namespace
+
+const char *severityName(LogSeverity Severity) {
+  switch (Severity) {
+  case LogSeverity::Debug:
+    return "D";
+  case LogSeverity::Info:
+    return "I";
+  case LogSeverity::Warn:
+    return "W";
+  case LogSeverity::Error:
+    return "E";
+  case LogSeverity::Fatal:
+    return "F";
+  }
+  return "?";
+}
+
+void LogBuffer::write(LogSeverity Severity, const char *Tag,
+                      std::string Message) {
+  LogState &S = state();
+  if (S.Echo.load(std::memory_order_relaxed))
+    std::fprintf(stderr, "%s %s: %s\n", severityName(Severity), Tag,
+                 Message.c_str());
+  {
+    std::lock_guard<std::mutex> Guard(S.Lock);
+    if (S.Records.size() >= kCapacity)
+      S.Records.pop_front();
+    S.Records.push_back(
+        LogRecord{Severity, Tag, std::move(Message), currentThreadId()});
+  }
+  // liblog ends up in writev(): a real syscall, and therefore an async MTE
+  // fault delivery point.
+  syscallBarrier("write");
+}
+
+std::vector<LogRecord> LogBuffer::snapshot() {
+  LogState &S = state();
+  std::lock_guard<std::mutex> Guard(S.Lock);
+  return std::vector<LogRecord>(S.Records.begin(), S.Records.end());
+}
+
+void LogBuffer::clear() {
+  LogState &S = state();
+  std::lock_guard<std::mutex> Guard(S.Lock);
+  S.Records.clear();
+}
+
+void LogBuffer::setEchoToStderr(bool Echo) {
+  state().Echo.store(Echo, std::memory_order_relaxed);
+}
+
+size_t LogBuffer::size() {
+  LogState &S = state();
+  std::lock_guard<std::mutex> Guard(S.Lock);
+  return S.Records.size();
+}
+
+#define M4J_DEFINE_LOG_FN(Name, Severity)                                     \
+  void Name(const char *Tag, const char *Fmt, ...) {                          \
+    va_list Args;                                                              \
+    va_start(Args, Fmt);                                                       \
+    writeImpl(Severity, Tag, Fmt, Args);                                       \
+    va_end(Args);                                                              \
+  }
+
+M4J_DEFINE_LOG_FN(logDebug, LogSeverity::Debug)
+M4J_DEFINE_LOG_FN(logInfo, LogSeverity::Info)
+M4J_DEFINE_LOG_FN(logWarn, LogSeverity::Warn)
+M4J_DEFINE_LOG_FN(logError, LogSeverity::Error)
+
+#undef M4J_DEFINE_LOG_FN
+
+} // namespace mte4jni::support

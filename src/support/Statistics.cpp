@@ -1,0 +1,85 @@
+//===- Statistics.cpp - Running statistics and percentiles ------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/support/Statistics.h"
+
+#include "mte4jni/support/Compiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mte4jni::support {
+
+void RunningStat::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++N;
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+double RunningStat::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::mean() const {
+  if (Samples.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double S : Samples)
+    Sum += S;
+  return Sum / static_cast<double>(Samples.size());
+}
+
+double SampleSet::percentile(double P) const {
+  if (Samples.empty())
+    return 0.0;
+  M4J_ASSERT(P >= 0.0 && P <= 100.0, "percentile out of range");
+  std::vector<double> Sorted = Samples;
+  std::sort(Sorted.begin(), Sorted.end());
+  if (Sorted.size() == 1)
+    return Sorted.front();
+  double Rank = P / 100.0 * static_cast<double>(Sorted.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Sorted[Lo] + (Sorted[Hi] - Sorted[Lo]) * Frac;
+}
+
+double SampleSet::min() const {
+  if (Samples.empty())
+    return 0.0;
+  return *std::min_element(Samples.begin(), Samples.end());
+}
+
+double SampleSet::max() const {
+  if (Samples.empty())
+    return 0.0;
+  return *std::max_element(Samples.begin(), Samples.end());
+}
+
+double geometricMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    M4J_ASSERT(V > 0.0, "geometricMean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+} // namespace mte4jni::support

@@ -1,0 +1,93 @@
+//===- StringUtils.cpp - snprintf-style formatting helpers ------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/support/StringUtils.h"
+
+#include "mte4jni/support/Compiler.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace mte4jni::support {
+
+std::string formatV(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Needed <= 0)
+    return std::string();
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args);
+  return Out;
+}
+
+std::string format(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Out = formatV(Fmt, Args);
+  va_end(Args);
+  return Out;
+}
+
+std::vector<std::string_view> split(std::string_view Text, char Sep) {
+  std::vector<std::string_view> Parts;
+  size_t Start = 0;
+  for (size_t I = 0; I <= Text.size(); ++I) {
+    if (I == Text.size() || Text[I] == Sep) {
+      Parts.push_back(Text.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Parts;
+}
+
+bool startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+bool parseUnsigned(std::string_view Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  uint64_t Value = 0;
+  for (char C : Text) {
+    if (!std::isdigit(static_cast<unsigned char>(C)))
+      return false;
+    uint64_t Digit = static_cast<uint64_t>(C - '0');
+    if (Value > (UINT64_MAX - Digit) / 10)
+      return false; // overflow
+    Value = Value * 10 + Digit;
+  }
+  Out = Value;
+  return true;
+}
+
+std::string humanBytes(uint64_t Bytes) {
+  static const char *Units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double Value = static_cast<double>(Bytes);
+  unsigned Unit = 0;
+  while (Value >= 1024.0 && Unit < 4) {
+    Value /= 1024.0;
+    ++Unit;
+  }
+  if (Unit == 0)
+    return format("%llu B", static_cast<unsigned long long>(Bytes));
+  return format("%.1f %s", Value, Units[Unit]);
+}
+
+std::string humanNanos(double Nanos) {
+  if (Nanos < 1e3)
+    return format("%.0f ns", Nanos);
+  if (Nanos < 1e6)
+    return format("%.2f us", Nanos * 1e-3);
+  if (Nanos < 1e9)
+    return format("%.2f ms", Nanos * 1e-6);
+  return format("%.3f s", Nanos * 1e-9);
+}
+
+} // namespace mte4jni::support

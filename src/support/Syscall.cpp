@@ -1,0 +1,72 @@
+//===- Syscall.cpp - Simulated system-call boundary --------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/support/Syscall.h"
+
+#include "mte4jni/support/Backtrace.h"
+#include "mte4jni/support/Compiler.h"
+#include "mte4jni/support/SpinLock.h"
+
+#include <array>
+#include <atomic>
+#include <mutex>
+
+namespace mte4jni::support {
+namespace {
+
+constexpr int kMaxObservers = 8;
+
+struct ObserverSlot {
+  std::atomic<SyscallObserver> Fn{nullptr};
+  std::atomic<void *> Context{nullptr};
+};
+
+std::array<ObserverSlot, kMaxObservers> Observers;
+SpinLock RegistrationLock;
+std::atomic<uint64_t> BarrierCount{0};
+
+} // namespace
+
+int addSyscallObserver(SyscallObserver Fn, void *Context) {
+  std::lock_guard<SpinLock> Guard(RegistrationLock);
+  for (int I = 0; I < kMaxObservers; ++I) {
+    if (Observers[I].Fn.load(std::memory_order_relaxed) == nullptr) {
+      Observers[I].Context.store(Context, std::memory_order_relaxed);
+      Observers[I].Fn.store(Fn, std::memory_order_release);
+      return I;
+    }
+  }
+  M4J_UNREACHABLE("too many syscall observers");
+}
+
+void removeSyscallObserver(int Token) {
+  std::lock_guard<SpinLock> Guard(RegistrationLock);
+  M4J_ASSERT(Token >= 0 && Token < kMaxObservers, "bad observer token");
+  Observers[static_cast<size_t>(Token)].Fn.store(nullptr,
+                                                 std::memory_order_release);
+  Observers[static_cast<size_t>(Token)].Context.store(
+      nullptr, std::memory_order_relaxed);
+}
+
+void syscallBarrier(const char *Name) {
+  BarrierCount.fetch_add(1, std::memory_order_relaxed);
+  // The kernel entry is a frame of its own: async MTE faults delivered
+  // here show the syscall at the top of the trace (paper Figure 4c shows
+  // getuid()).
+  ScopedFrame KernelEntry(Name, "libc.so");
+  for (ObserverSlot &Slot : Observers) {
+    SyscallObserver Fn = Slot.Fn.load(std::memory_order_acquire);
+    if (Fn)
+      Fn(Slot.Context.load(std::memory_order_relaxed), Name);
+  }
+}
+
+uint64_t syscallBarrierCount() {
+  return BarrierCount.load(std::memory_order_relaxed);
+}
+
+} // namespace mte4jni::support

@@ -1,0 +1,97 @@
+//===- ThreadPool.cpp - Minimal fixed-size thread pool ------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/support/ThreadPool.h"
+
+#include "mte4jni/support/Compiler.h"
+
+#include <atomic>
+
+namespace mte4jni::support {
+
+size_t hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(size_t NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = 1;
+  Workers.reserve(NumThreads);
+  for (size_t I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    M4J_ASSERT(!ShuttingDown, "submit after shutdown");
+    Queue.push(std::move(Task));
+    ++InFlight;
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock<std::mutex> Guard(Lock);
+  AllDone.wait(Guard, [this] { return InFlight == 0; });
+}
+
+void ThreadPool::parallelFor(size_t Count,
+                             const std::function<void(size_t)> &Body) {
+  if (Count == 0)
+    return;
+  std::atomic<size_t> Next{0};
+  size_t Shards = std::min(Count, Workers.size());
+  for (size_t S = 0; S < Shards; ++S) {
+    submit([&Next, Count, &Body] {
+      for (;;) {
+        size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+        if (I >= Count)
+          return;
+        Body(I);
+      }
+    });
+  }
+  waitIdle();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Guard(Lock);
+      WorkAvailable.wait(Guard,
+                         [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty()) {
+        // Only possible when shutting down.
+        return;
+      }
+      Task = std::move(Queue.front());
+      Queue.pop();
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Guard(Lock);
+      --InFlight;
+      if (InFlight == 0)
+        AllDone.notify_all();
+    }
+  }
+}
+
+} // namespace mte4jni::support

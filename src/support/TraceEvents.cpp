@@ -1,0 +1,132 @@
+//===- TraceEvents.cpp - systrace-style event recording -----------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/support/TraceEvents.h"
+
+#include "mte4jni/support/SpinLock.h"
+#include "mte4jni/support/StringUtils.h"
+#include "mte4jni/support/Timer.h"
+
+#include <mutex>
+#include <thread>
+
+namespace mte4jni::support {
+
+std::atomic<bool> TraceRecorder::EnabledFlag{false};
+
+namespace {
+
+constexpr size_t kMaxEvents = 1 << 16;
+
+struct TraceState {
+  SpinLock Lock;
+  std::vector<TraceEvent> Events;
+  uint64_t Dropped = 0;
+};
+
+TraceState &state() {
+  static TraceState S;
+  return S;
+}
+
+uint64_t currentTid() {
+  return std::hash<std::thread::id>()(std::this_thread::get_id()) & 0xFFFF;
+}
+
+void append(TraceEvent Event) {
+  TraceState &S = state();
+  std::lock_guard<SpinLock> Guard(S.Lock);
+  if (S.Events.size() >= kMaxEvents) {
+    ++S.Dropped;
+    return;
+  }
+  S.Events.push_back(Event);
+}
+
+} // namespace
+
+uint64_t ScopedTrace::nowMicros() { return monotonicNanos() / 1000; }
+
+void TraceRecorder::setEnabled(bool Enabled) {
+  EnabledFlag.store(Enabled, std::memory_order_relaxed);
+}
+
+void TraceRecorder::clear() {
+  TraceState &S = state();
+  std::lock_guard<SpinLock> Guard(S.Lock);
+  S.Events.clear();
+  S.Dropped = 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() {
+  TraceState &S = state();
+  std::lock_guard<SpinLock> Guard(S.Lock);
+  return S.Events;
+}
+
+size_t TraceRecorder::size() {
+  TraceState &S = state();
+  std::lock_guard<SpinLock> Guard(S.Lock);
+  return S.Events.size();
+}
+
+void TraceRecorder::recordSlice(const char *Name, const char *Category,
+                                uint64_t StartMicros,
+                                uint64_t DurationMicros) {
+  TraceEvent Event;
+  Event.EventKind = TraceEvent::Kind::Slice;
+  Event.Name = Name;
+  Event.Category = Category;
+  Event.ThreadId = currentTid();
+  Event.StartMicros = StartMicros;
+  Event.DurationMicros = DurationMicros;
+  append(Event);
+}
+
+void TraceRecorder::recordCounter(const char *Name, int64_t Value) {
+  if (!enabled())
+    return;
+  TraceEvent Event;
+  Event.EventKind = TraceEvent::Kind::Counter;
+  Event.Name = Name;
+  Event.Category = "counter";
+  Event.ThreadId = currentTid();
+  Event.StartMicros = ScopedTrace::nowMicros();
+  Event.Value = Value;
+  append(Event);
+}
+
+std::string TraceRecorder::exportChromeJson() {
+  std::vector<TraceEvent> Events = snapshot();
+  std::string Out = "{\"traceEvents\":[";
+  bool First = true;
+  for (const TraceEvent &E : Events) {
+    if (!First)
+      Out += ',';
+    First = false;
+    if (E.EventKind == TraceEvent::Kind::Slice) {
+      // "X" = complete event: ts + dur, microseconds.
+      Out += format("{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                    "\"ts\":%llu,\"dur\":%llu,\"pid\":1,\"tid\":%llu}",
+                    E.Name, E.Category,
+                    static_cast<unsigned long long>(E.StartMicros),
+                    static_cast<unsigned long long>(E.DurationMicros),
+                    static_cast<unsigned long long>(E.ThreadId));
+    } else {
+      Out += format("{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%llu,"
+                    "\"pid\":1,\"tid\":%llu,\"args\":{\"value\":%lld}}",
+                    E.Name,
+                    static_cast<unsigned long long>(E.StartMicros),
+                    static_cast<unsigned long long>(E.ThreadId),
+                    static_cast<long long>(E.Value));
+    }
+  }
+  Out += "]}";
+  return Out;
+}
+
+} // namespace mte4jni::support

@@ -1,0 +1,270 @@
+//===- ClangSim.cpp - "Clang" workload: a tiny C-subset front end -------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Models Geekbench's Clang sub-item: lexing, parsing and constant-folding a
+// generated C-like source file. The app keeps the source in a Java byte
+// array; the native "compiler" scans it *character by character through the
+// JNI pointer* — the memory-intensive access pattern that makes this one of
+// the §5.4 workloads where MTE+Sync pays per-access overhead while guarded
+// copy pays a single bulk copy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+#include "mte4jni/rt/Trampoline.h"
+#include "mte4jni/support/StringUtils.h"
+
+#include <cctype>
+#include <string>
+
+namespace mte4jni::workloads {
+namespace {
+
+/// Token kinds of the C subset.
+enum class Tok : uint8_t {
+  End,
+  Ident,
+  Number,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  LParen,
+  RParen,
+  Semi,
+  Equal,
+  KwInt,
+  KwReturn,
+};
+
+/// Lexer over a tagged JNI pointer: every byte read is a checked access.
+class JniLexer {
+public:
+  JniLexer(mte::TaggedPtr<jni::jbyte> Src, uint64_t Len)
+      : Src(Src), Len(Len) {}
+
+  Tok next(int64_t &NumberOut, uint32_t &IdentHashOut) {
+    skipSpace();
+    if (Pos >= Len)
+      return Tok::End;
+    char C = peek();
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      int64_t V = 0;
+      while (Pos < Len && std::isdigit(static_cast<unsigned char>(peek()))) {
+        V = V * 10 + (peek() - '0');
+        ++Pos;
+      }
+      NumberOut = V;
+      return Tok::Number;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      uint32_t H = 2166136261u;
+      uint64_t Start = Pos;
+      while (Pos < Len && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                           peek() == '_')) {
+        H = (H ^ static_cast<uint8_t>(peek())) * 16777619u;
+        ++Pos;
+      }
+      IdentHashOut = H;
+      uint64_t Width = Pos - Start;
+      if (Width == 3 && H == hashOf("int"))
+        return Tok::KwInt;
+      if (Width == 6 && H == hashOf("return"))
+        return Tok::KwReturn;
+      return Tok::Ident;
+    }
+    ++Pos;
+    switch (C) {
+    case '+':
+      return Tok::Plus;
+    case '-':
+      return Tok::Minus;
+    case '*':
+      return Tok::Star;
+    case '/':
+      return Tok::Slash;
+    case '(':
+      return Tok::LParen;
+    case ')':
+      return Tok::RParen;
+    case ';':
+      return Tok::Semi;
+    case '=':
+      return Tok::Equal;
+    default:
+      return next(NumberOut, IdentHashOut); // skip unknown
+    }
+  }
+
+private:
+  static uint32_t hashOf(const char *S) {
+    uint32_t H = 2166136261u;
+    for (; *S; ++S)
+      H = (H ^ static_cast<uint8_t>(*S)) * 16777619u;
+    return H;
+  }
+
+  char peek() {
+    return static_cast<char>(mte::load<jni::jbyte>(
+        Src + static_cast<ptrdiff_t>(Pos)));
+  }
+  void skipSpace() {
+    while (Pos < Len) {
+      char C = peek();
+      if (C != ' ' && C != '\n' && C != '\t')
+        return;
+      ++Pos;
+    }
+  }
+
+  mte::TaggedPtr<jni::jbyte> Src;
+  uint64_t Len;
+  uint64_t Pos = 0;
+};
+
+/// Recursive-descent constant folder: expr := term (('+'|'-') term)*,
+/// term := factor (('*'|'/') factor)*, factor := Number | Ident | '(' e ')'.
+class Parser {
+public:
+  explicit Parser(JniLexer &Lex) : Lex(Lex) { advance(); }
+
+  /// Parses a sequence of `int x = expr;` / `return expr;` statements,
+  /// folding each expression; returns a checksum of folded values.
+  uint64_t parseProgram() {
+    uint64_t Sum = 0;
+    unsigned Stmts = 0;
+    while (Cur != Tok::End) {
+      if (Cur == Tok::KwInt) {
+        advance(); // int
+        advance(); // ident
+        expect(Tok::Equal);
+        Sum = mixChecksum(Sum, static_cast<uint64_t>(parseExpr()));
+        expect(Tok::Semi);
+        ++Stmts;
+      } else if (Cur == Tok::KwReturn) {
+        advance();
+        Sum = mixChecksum(Sum, static_cast<uint64_t>(parseExpr()));
+        expect(Tok::Semi);
+        ++Stmts;
+      } else {
+        advance(); // resynchronise
+      }
+    }
+    return mixChecksum(Sum, Stmts);
+  }
+
+private:
+  void advance() { Cur = Lex.next(Number, IdentHash); }
+  void expect(Tok T) {
+    if (Cur == T)
+      advance();
+  }
+
+  int64_t parseFactor() {
+    if (Cur == Tok::Number) {
+      int64_t V = Number;
+      advance();
+      return V;
+    }
+    if (Cur == Tok::Ident) {
+      int64_t V = static_cast<int64_t>(IdentHash & 0xFF);
+      advance();
+      return V;
+    }
+    if (Cur == Tok::LParen) {
+      advance();
+      int64_t V = parseExpr();
+      expect(Tok::RParen);
+      return V;
+    }
+    advance();
+    return 0;
+  }
+
+  int64_t parseTerm() {
+    int64_t V = parseFactor();
+    while (Cur == Tok::Star || Cur == Tok::Slash) {
+      bool Mul = Cur == Tok::Star;
+      advance();
+      int64_t R = parseFactor();
+      V = Mul ? V * R : (R != 0 ? V / R : V);
+    }
+    return V;
+  }
+
+  int64_t parseExpr() {
+    int64_t V = parseTerm();
+    while (Cur == Tok::Plus || Cur == Tok::Minus) {
+      bool Add = Cur == Tok::Plus;
+      advance();
+      int64_t R = parseTerm();
+      V = Add ? V + R : V - R;
+    }
+    return V;
+  }
+
+  JniLexer &Lex;
+  Tok Cur = Tok::End;
+  int64_t Number = 0;
+  uint32_t IdentHash = 0;
+};
+
+class ClangWorkload final : public Workload {
+public:
+  const char *name() const override { return "Clang"; }
+  bool isJniIntensive() const override { return true; }
+
+  void prepare(WorkloadContext &Ctx) override {
+    // Generate a deterministic source file of ~48 KiB.
+    support::Xoshiro256 Rng(Ctx.Seed ^ 0xC1A46);
+    std::string Src;
+    Src.reserve(kSourceBytes);
+    unsigned Var = 0;
+    while (Src.size() < kSourceBytes - 64) {
+      Src += support::format("int v%u = (%u + %u * %u) / %u - v%u;\n", Var,
+                             unsigned(Rng.nextBelow(1000)),
+                             unsigned(Rng.nextBelow(100)),
+                             unsigned(Rng.nextBelow(100)),
+                             unsigned(Rng.nextBelow(9) + 1),
+                             unsigned(Rng.nextBelow(Var + 1)));
+      ++Var;
+    }
+    Src += "return v0 + v1;\n";
+
+    Source = Ctx.Env.NewByteArray(Ctx.Scope,
+                                  static_cast<jni::jsize>(Src.size()));
+    auto *Data = rt::arrayData<jni::jbyte>(Source);
+    for (size_t I = 0; I < Src.size(); ++I)
+      Data[I] = static_cast<jni::jbyte>(Src[I]);
+  }
+
+  uint64_t run(WorkloadContext &Ctx) override {
+    return rt::callNative(
+        Ctx.Thread, rt::NativeKind::Regular, "clang_compile", [&] {
+          jni::jboolean IsCopy;
+          auto Src = Ctx.Env.GetByteArrayElements(Source, &IsCopy);
+          JniLexer Lex(Src, Source->Length);
+          Parser P(Lex);
+          uint64_t Sum = P.parseProgram();
+          Ctx.Env.ReleaseByteArrayElements(Source, Src, jni::JNI_ABORT);
+          return Sum;
+        });
+  }
+
+private:
+  static constexpr size_t kSourceBytes = 48 << 10;
+  jni::jarray Source = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeClang() {
+  return std::make_unique<ClangWorkload>();
+}
+
+} // namespace mte4jni::workloads

@@ -1,0 +1,204 @@
+//===- Compression.cpp - Compression-family workloads --------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// File Compression: an LZ77-style matcher plus order-0 entropy estimate
+// over a document held in a Java byte array.
+// Asset Compression: BC1-style 4x4 texture block compression of a Java
+// int-array image.
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+#include "mte4jni/rt/Trampoline.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace mte4jni::workloads {
+namespace {
+
+// ---- File Compression --------------------------------------------------------
+
+class FileCompressionWorkload final : public Workload {
+public:
+  const char *name() const override { return "File Compression"; }
+
+  void prepare(WorkloadContext &Ctx) override {
+    // Compressible input: random words with heavy repetition.
+    support::Xoshiro256 Rng(Ctx.Seed ^ 0xF11E);
+    static const char *Chunks[] = {"abcdefgh", "the file", "compress",
+                                   "12345678", "aaaaaaaa", "datadata"};
+    Input = Ctx.Env.NewByteArray(Ctx.Scope, kInputBytes);
+    auto *Data = rt::arrayData<jni::jbyte>(Input);
+    uint32_t Pos = 0;
+    while (Pos + 8 <= kInputBytes) {
+      const char *C = Chunks[Rng.nextBelow(std::size(Chunks))];
+      for (int I = 0; I < 8; ++I)
+        Data[Pos++] = static_cast<jni::jbyte>(C[I]);
+    }
+  }
+
+  uint64_t run(WorkloadContext &Ctx) override {
+    return rt::callNative(
+        Ctx.Thread, rt::NativeKind::Regular, "file_compress", [&] {
+          std::vector<jni::jbyte> In =
+              readArrayToNative<jni::jbyte>(Ctx.Env, Input);
+
+          // LZ77 with a 4 KiB window and 3-byte hash chains.
+          std::array<int32_t, 1 << 12> Head;
+          Head.fill(-1);
+          std::vector<int32_t> Prev(In.size(), -1);
+          auto HashAt = [&](size_t I) {
+            uint32_t H = static_cast<uint8_t>(In[I]);
+            H = H * 33 + static_cast<uint8_t>(In[I + 1]);
+            H = H * 33 + static_cast<uint8_t>(In[I + 2]);
+            return H & 0xFFF;
+          };
+
+          uint64_t Matched = 0, Literals = 0, TokenSum = 0;
+          size_t I = 0;
+          while (I + 3 < In.size()) {
+            uint32_t H = HashAt(I);
+            int32_t Cand = Head[H];
+            size_t BestLen = 0;
+            size_t BestDist = 0;
+            int Chain = 0;
+            while (Cand >= 0 && I - static_cast<size_t>(Cand) <= 4096 &&
+                   Chain++ < 16) {
+              size_t Len = 0;
+              size_t Max = std::min<size_t>(In.size() - I, 255);
+              while (Len < Max &&
+                     In[static_cast<size_t>(Cand) + Len] == In[I + Len])
+                ++Len;
+              if (Len > BestLen) {
+                BestLen = Len;
+                BestDist = I - static_cast<size_t>(Cand);
+              }
+              Cand = Prev[static_cast<size_t>(Cand)];
+            }
+            Prev[I] = Head[H];
+            Head[H] = static_cast<int32_t>(I);
+            if (BestLen >= 4) {
+              TokenSum = mixChecksum(TokenSum, (BestDist << 8) | BestLen);
+              Matched += BestLen;
+              I += BestLen;
+            } else {
+              ++Literals;
+              ++I;
+            }
+          }
+
+          // Order-0 entropy estimate of the literal stream (the "Huffman"
+          // stage).
+          std::array<uint32_t, 256> Freq{};
+          for (jni::jbyte B : In)
+            ++Freq[static_cast<uint8_t>(B)];
+          double Entropy = 0;
+          for (uint32_t F : Freq) {
+            if (!F)
+              continue;
+            double P = double(F) / double(In.size());
+            Entropy -= P * std::log2(P);
+          }
+
+          uint64_t Sum = mixChecksum(TokenSum, Matched);
+          Sum = mixChecksum(Sum, Literals);
+          Sum = mixChecksum(Sum, static_cast<uint64_t>(Entropy * 1000));
+          return Sum;
+        });
+  }
+
+private:
+  static constexpr jni::jsize kInputBytes = 96 << 10;
+  jni::jarray Input = nullptr;
+};
+
+// ---- Asset Compression ---------------------------------------------------------
+
+class AssetCompressionWorkload final : public Workload {
+public:
+  const char *name() const override { return "Asset Compression"; }
+
+  void prepare(WorkloadContext &Ctx) override {
+    support::Xoshiro256 Rng(Ctx.Seed ^ 0xA55E7);
+    Texture = Ctx.Env.NewIntArray(Ctx.Scope, kW * kH);
+    auto *Px = rt::arrayData<jni::jint>(Texture);
+    for (uint32_t I = 0; I < kW * kH; ++I) {
+      uint32_t V = static_cast<uint32_t>(Rng.nextBelow(64));
+      uint32_t X = I % kW, Y = I / kW;
+      Px[I] = static_cast<jni::jint>(0xFF000000u | ((V + X / 2) << 16) |
+                                     ((V + Y / 2) << 8) | V);
+    }
+  }
+
+  uint64_t run(WorkloadContext &Ctx) override {
+    return rt::callNative(
+        Ctx.Thread, rt::NativeKind::Regular, "asset_compress", [&] {
+          std::vector<jni::jint> Px =
+              readArrayToNative<jni::jint>(Ctx.Env, Texture);
+
+          // BC1-style: per 4x4 block, pick min/max colour endpoints and
+          // quantise each texel to 2 bits along the endpoint axis.
+          uint64_t Sum = 0;
+          for (uint32_t By = 0; By < kH; By += 4) {
+            for (uint32_t Bx = 0; Bx < kW; Bx += 4) {
+              uint32_t MinL = 255 * 3, MaxL = 0;
+              uint32_t MinPix = 0, MaxPix = 0;
+              for (uint32_t Y = 0; Y < 4; ++Y) {
+                for (uint32_t X = 0; X < 4; ++X) {
+                  uint32_t P = static_cast<uint32_t>(
+                      Px[(By + Y) * kW + Bx + X]);
+                  uint32_t L = ((P >> 16) & 0xFF) + ((P >> 8) & 0xFF) +
+                               (P & 0xFF);
+                  if (L < MinL) {
+                    MinL = L;
+                    MinPix = P;
+                  }
+                  if (L > MaxL) {
+                    MaxL = L;
+                    MaxPix = P;
+                  }
+                }
+              }
+              uint32_t IndexBits = 0;
+              uint32_t Range = std::max(1u, MaxL - MinL);
+              for (uint32_t Y = 0; Y < 4; ++Y) {
+                for (uint32_t X = 0; X < 4; ++X) {
+                  uint32_t P = static_cast<uint32_t>(
+                      Px[(By + Y) * kW + Bx + X]);
+                  uint32_t L = ((P >> 16) & 0xFF) + ((P >> 8) & 0xFF) +
+                               (P & 0xFF);
+                  uint32_t Q = ((L - MinL) * 3) / Range;
+                  IndexBits = (IndexBits << 2) | Q;
+                }
+              }
+              Sum = mixChecksum(Sum, (uint64_t(MinPix & 0xFFFFFF) << 32) ^
+                                         (MaxPix & 0xFFFFFF) ^ IndexBits);
+            }
+          }
+          return Sum;
+        });
+  }
+
+private:
+  static constexpr uint32_t kW = 256;
+  static constexpr uint32_t kH = 256;
+  jni::jarray Texture = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeFileCompression() {
+  return std::make_unique<FileCompressionWorkload>();
+}
+std::unique_ptr<Workload> makeAssetCompression() {
+  return std::make_unique<AssetCompressionWorkload>();
+}
+
+} // namespace mte4jni::workloads

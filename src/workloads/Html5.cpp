@@ -1,0 +1,150 @@
+//===- Html5.cpp - "HTML5 Browser" workload -------------------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Models Geekbench's HTML5 Browser sub-item: tokenise an HTML document,
+// build a DOM-ish tree, then compute a layout pass (box widths) over it.
+// The document crosses the JNI boundary in bulk; the parse runs on native
+// scratch (boundary-traffic class).
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+#include "mte4jni/rt/Trampoline.h"
+
+#include <string>
+#include <vector>
+
+namespace mte4jni::workloads {
+namespace {
+
+struct DomNode {
+  uint32_t TagHash = 0;
+  int32_t Parent = -1;
+  uint32_t TextBytes = 0;
+  uint32_t Width = 0;
+};
+
+class Html5Workload final : public Workload {
+public:
+  const char *name() const override { return "HTML5 Browser"; }
+
+  void prepare(WorkloadContext &Ctx) override {
+    support::Xoshiro256 Rng(Ctx.Seed ^ 0x4735);
+    static const char *Tags[] = {"div", "span", "p", "a", "li", "ul",
+                                 "h1",  "td",   "tr"};
+    std::string Doc = "<html><body>";
+    unsigned Depth = 2;
+    std::vector<const char *> Stack = {"html", "body"};
+    while (Doc.size() < kDocBytes - 64) {
+      if (Depth < 12 && Rng.nextBool(0.55)) {
+        const char *T = Tags[Rng.nextBelow(std::size(Tags))];
+        Doc += "<";
+        Doc += T;
+        if (Rng.nextBool(0.3))
+          Doc += " class=\"c" + std::to_string(Rng.nextBelow(30)) + "\"";
+        Doc += ">";
+        Stack.push_back(T);
+        ++Depth;
+      } else if (Depth > 2 && Rng.nextBool(0.5)) {
+        Doc += "</";
+        Doc += Stack.back();
+        Doc += ">";
+        Stack.pop_back();
+        --Depth;
+      } else {
+        for (unsigned I = 0, N = unsigned(4 + Rng.nextBelow(40)); I < N; ++I)
+          Doc += static_cast<char>('a' + Rng.nextBelow(26));
+        Doc += ' ';
+      }
+    }
+    while (!Stack.empty()) {
+      Doc += "</";
+      Doc += Stack.back();
+      Doc += ">";
+      Stack.pop_back();
+    }
+
+    Document = Ctx.Env.NewByteArray(Ctx.Scope,
+                                    static_cast<jni::jsize>(Doc.size()));
+    auto *Data = rt::arrayData<jni::jbyte>(Document);
+    for (size_t I = 0; I < Doc.size(); ++I)
+      Data[I] = static_cast<jni::jbyte>(Doc[I]);
+  }
+
+  uint64_t run(WorkloadContext &Ctx) override {
+    return rt::callNative(
+        Ctx.Thread, rt::NativeKind::Regular, "html5_parse_layout", [&] {
+          std::vector<jni::jbyte> Doc =
+              readArrayToNative<jni::jbyte>(Ctx.Env, Document);
+
+          // Tokenise + build the tree.
+          std::vector<DomNode> Nodes;
+          Nodes.push_back({}); // document node
+          int32_t Cur = 0;
+          size_t I = 0;
+          auto HashRange = [&](size_t From, size_t To) {
+            uint32_t H = 2166136261u;
+            for (size_t K = From; K < To; ++K)
+              H = (H ^ static_cast<uint8_t>(Doc[K])) * 16777619u;
+            return H;
+          };
+          while (I < Doc.size()) {
+            if (Doc[I] != '<') {
+              ++Nodes[static_cast<size_t>(Cur)].TextBytes;
+              ++I;
+              continue;
+            }
+            bool Close = I + 1 < Doc.size() && Doc[I + 1] == '/';
+            size_t NameStart = I + (Close ? 2 : 1);
+            size_t J = NameStart;
+            while (J < Doc.size() && Doc[J] != '>' && Doc[J] != ' ')
+              ++J;
+            size_t End = J;
+            while (End < Doc.size() && Doc[End] != '>')
+              ++End;
+            if (Close) {
+              if (Nodes[static_cast<size_t>(Cur)].Parent >= 0)
+                Cur = Nodes[static_cast<size_t>(Cur)].Parent;
+            } else {
+              DomNode N;
+              N.TagHash = HashRange(NameStart, J);
+              N.Parent = Cur;
+              Nodes.push_back(N);
+              Cur = static_cast<int32_t>(Nodes.size() - 1);
+            }
+            I = End + 1;
+          }
+
+          // "Layout": width = own text * 7px + children widths, computed
+          // bottom-up (children appear after parents in Nodes).
+          for (size_t K = Nodes.size(); K-- > 0;) {
+            Nodes[K].Width += Nodes[K].TextBytes * 7;
+            if (Nodes[K].Parent >= 0)
+              Nodes[static_cast<size_t>(Nodes[K].Parent)].Width +=
+                  Nodes[K].Width / 2;
+          }
+
+          uint64_t Sum = Nodes.size();
+          for (const DomNode &N : Nodes)
+            Sum = mixChecksum(Sum, (uint64_t(N.TagHash) << 16) ^ N.Width);
+          return Sum;
+        });
+  }
+
+private:
+  static constexpr size_t kDocBytes = 48 << 10;
+  jni::jarray Document = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeHtml5Browser() {
+  return std::make_unique<Html5Workload>();
+}
+
+} // namespace mte4jni::workloads

@@ -1,0 +1,408 @@
+//===- Image.cpp - Image-family workloads --------------------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The image-processing sub-items of the suite: Background Blur, Photo
+// Filter, HDR, Object Remover, Photo Library and Horizon Detection. These
+// model typical Android camera-app pipelines: bitmaps live in Java int
+// arrays; native code pulls them across the JNI boundary in bulk, computes
+// on native scratch, and pushes results back — the boundary-traffic access
+// class (contrast with the JNI-intensive Clang/Text/PDF workloads).
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+#include "mte4jni/rt/Trampoline.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace mte4jni::workloads {
+namespace {
+
+// ---- shared pixel helpers ---------------------------------------------------
+
+constexpr uint32_t kW = 256;
+constexpr uint32_t kH = 192;
+
+uint32_t packRgb(uint32_t R, uint32_t G, uint32_t B) {
+  return 0xFF000000u | (R << 16) | (G << 8) | B;
+}
+uint32_t redOf(uint32_t P) { return (P >> 16) & 0xFF; }
+uint32_t greenOf(uint32_t P) { return (P >> 8) & 0xFF; }
+uint32_t blueOf(uint32_t P) { return P & 0xFF; }
+
+/// Fills a Java int array with a deterministic synthetic photo: gradient
+/// sky, textured ground, a few "objects".
+void fillSyntheticPhoto(jni::jarray Image, uint64_t Seed) {
+  support::Xoshiro256 Rng(Seed);
+  auto *Px = rt::arrayData<jni::jint>(Image);
+  for (uint32_t Y = 0; Y < kH; ++Y) {
+    for (uint32_t X = 0; X < kW; ++X) {
+      uint32_t P;
+      if (Y < kH / 2) {
+        P = packRgb(90 + Y / 2, 130 + Y / 3, 200); // sky gradient
+      } else {
+        uint32_t N = static_cast<uint32_t>(Rng.nextBelow(32));
+        P = packRgb(60 + N, 90 + N, 40 + N / 2); // ground texture
+      }
+      Px[Y * kW + X] = static_cast<jni::jint>(P);
+    }
+  }
+  // Horizon-adjacent "objects".
+  for (int Obj = 0; Obj < 6; ++Obj) {
+    uint32_t Cx = static_cast<uint32_t>(Rng.nextBelow(kW - 24));
+    uint32_t Cy = kH / 2 - 12 + static_cast<uint32_t>(Rng.nextBelow(8));
+    for (uint32_t Y = Cy; Y < Cy + 16; ++Y)
+      for (uint32_t X = Cx; X < Cx + 16; ++X)
+        Px[Y * kW + X] = static_cast<jni::jint>(packRgb(200, 40, 40));
+  }
+}
+
+uint64_t checksumPixels(const std::vector<jni::jint> &Px) {
+  uint64_t Sum = 0;
+  for (size_t I = 0; I < Px.size(); I += 31)
+    Sum = mixChecksum(Sum, static_cast<uint32_t>(Px[I]));
+  return Sum;
+}
+
+/// Common base: one Java image prepared from the seed.
+class ImageWorkloadBase : public Workload {
+public:
+  void prepare(WorkloadContext &Ctx) override {
+    Image = Ctx.Env.NewIntArray(Ctx.Scope, kW * kH);
+    fillSyntheticPhoto(Image, Ctx.Seed ^ seedSalt());
+  }
+
+protected:
+  virtual uint64_t seedSalt() const = 0;
+  jni::jarray Image = nullptr;
+};
+
+// ---- Background Blur --------------------------------------------------------
+
+class BackgroundBlurWorkload final : public ImageWorkloadBase {
+public:
+  const char *name() const override { return "Background Blur"; }
+
+  uint64_t run(WorkloadContext &Ctx) override {
+    return rt::callNative(
+        Ctx.Thread, rt::NativeKind::Regular, "background_blur", [&] {
+          std::vector<jni::jint> In =
+              readArrayToNative<jni::jint>(Ctx.Env, Image);
+          std::vector<jni::jint> Out(In.size());
+
+          // Separable 5-tap box blur on the lower half ("background"),
+          // identity on the upper half ("subject").
+          std::vector<jni::jint> Tmp = In;
+          for (uint32_t Y = kH / 2; Y < kH; ++Y) {
+            for (uint32_t X = 2; X < kW - 2; ++X) {
+              uint32_t R = 0, G = 0, B = 0;
+              for (int D = -2; D <= 2; ++D) {
+                uint32_t P = static_cast<uint32_t>(
+                    In[Y * kW + X + static_cast<uint32_t>(D)]);
+                R += redOf(P);
+                G += greenOf(P);
+                B += blueOf(P);
+              }
+              Tmp[Y * kW + X] =
+                  static_cast<jni::jint>(packRgb(R / 5, G / 5, B / 5));
+            }
+          }
+          for (uint32_t Y = 0; Y < kH; ++Y) {
+            for (uint32_t X = 0; X < kW; ++X) {
+              if (Y < kH / 2 + 2 || Y >= kH - 2) {
+                Out[Y * kW + X] = Tmp[Y * kW + X];
+                continue;
+              }
+              uint32_t R = 0, G = 0, B = 0;
+              for (int D = -2; D <= 2; ++D) {
+                uint32_t P = static_cast<uint32_t>(
+                    Tmp[(Y + static_cast<uint32_t>(D)) * kW + X]);
+                R += redOf(P);
+                G += greenOf(P);
+                B += blueOf(P);
+              }
+              Out[Y * kW + X] =
+                  static_cast<jni::jint>(packRgb(R / 5, G / 5, B / 5));
+            }
+          }
+
+          writeArrayFromNative<jni::jint>(Ctx.Env, Image, Out);
+          return checksumPixels(Out);
+        });
+  }
+
+protected:
+  uint64_t seedSalt() const override { return 0xB1u; }
+};
+
+// ---- Photo Filter -----------------------------------------------------------
+
+class PhotoFilterWorkload final : public ImageWorkloadBase {
+public:
+  const char *name() const override { return "Photo Filter"; }
+
+  uint64_t run(WorkloadContext &Ctx) override {
+    return rt::callNative(
+        Ctx.Thread, rt::NativeKind::Regular, "photo_filter", [&] {
+          std::vector<jni::jint> Px =
+              readArrayToNative<jni::jint>(Ctx.Env, Image);
+
+          // Build a contrast+warmth LUT then grade every pixel.
+          std::array<uint8_t, 256> LutR, LutG, LutB;
+          for (int I = 0; I < 256; ++I) {
+            double V = I / 255.0;
+            double Contrast = 0.5 + (V - 0.5) * 1.25;
+            Contrast = std::clamp(Contrast, 0.0, 1.0);
+            LutR[static_cast<size_t>(I)] = static_cast<uint8_t>(
+                std::min(255.0, Contrast * 255.0 * 1.08));
+            LutG[static_cast<size_t>(I)] =
+                static_cast<uint8_t>(Contrast * 255.0);
+            LutB[static_cast<size_t>(I)] = static_cast<uint8_t>(
+                std::max(0.0, Contrast * 255.0 * 0.92));
+          }
+          for (jni::jint &P : Px) {
+            uint32_t U = static_cast<uint32_t>(P);
+            P = static_cast<jni::jint>(packRgb(
+                LutR[redOf(U)], LutG[greenOf(U)], LutB[blueOf(U)]));
+          }
+
+          writeArrayFromNative<jni::jint>(Ctx.Env, Image, Px);
+          return checksumPixels(Px);
+        });
+  }
+
+protected:
+  uint64_t seedSalt() const override { return 0xF117u; }
+};
+
+// ---- HDR ---------------------------------------------------------------------
+
+class HdrWorkload final : public Workload {
+public:
+  const char *name() const override { return "HDR"; }
+
+  void prepare(WorkloadContext &Ctx) override {
+    // Three synthetic exposures of the same scene.
+    for (int E = 0; E < 3; ++E) {
+      Exposures[E] = Ctx.Env.NewIntArray(Ctx.Scope, kW * kH);
+      fillSyntheticPhoto(Exposures[E], Ctx.Seed ^ 0x4D8);
+      auto *Px = rt::arrayData<jni::jint>(Exposures[E]);
+      double Gain = E == 0 ? 0.5 : (E == 1 ? 1.0 : 1.8);
+      for (uint32_t I = 0; I < kW * kH; ++I) {
+        uint32_t P = static_cast<uint32_t>(Px[I]);
+        auto Scale = [Gain](uint32_t C) {
+          return static_cast<uint32_t>(
+              std::min(255.0, std::floor(C * Gain)));
+        };
+        Px[I] = static_cast<jni::jint>(
+            packRgb(Scale(redOf(P)), Scale(greenOf(P)), Scale(blueOf(P))));
+      }
+    }
+    Output = Ctx.Env.NewIntArray(Ctx.Scope, kW * kH);
+  }
+
+  uint64_t run(WorkloadContext &Ctx) override {
+    return rt::callNative(
+        Ctx.Thread, rt::NativeKind::Regular, "hdr_merge", [&] {
+          std::vector<jni::jint> E0 =
+              readArrayToNative<jni::jint>(Ctx.Env, Exposures[0]);
+          std::vector<jni::jint> E1 =
+              readArrayToNative<jni::jint>(Ctx.Env, Exposures[1]);
+          std::vector<jni::jint> E2 =
+              readArrayToNative<jni::jint>(Ctx.Env, Exposures[2]);
+          std::vector<jni::jint> Out(E0.size());
+
+          // Exposure-fusion weights favouring mid-tones, then Reinhard
+          // tone mapping.
+          for (size_t I = 0; I < Out.size(); ++I) {
+            double R = 0, G = 0, B = 0, WSum = 0;
+            for (const auto *E : {&E0, &E1, &E2}) {
+              uint32_t P = static_cast<uint32_t>((*E)[I]);
+              double Lum =
+                  (0.299 * redOf(P) + 0.587 * greenOf(P) + 0.114 * blueOf(P)) /
+                  255.0;
+              double W = std::exp(-12.0 * (Lum - 0.5) * (Lum - 0.5)) + 1e-3;
+              R += W * redOf(P);
+              G += W * greenOf(P);
+              B += W * blueOf(P);
+              WSum += W;
+            }
+            R /= WSum;
+            G /= WSum;
+            B /= WSum;
+            auto Tone = [](double C) {
+              double L = C / 255.0;
+              return static_cast<uint32_t>(255.0 * L / (1.0 + L) * 1.9);
+            };
+            Out[I] = static_cast<jni::jint>(packRgb(
+                std::min(255u, Tone(R)), std::min(255u, Tone(G)),
+                std::min(255u, Tone(B))));
+          }
+
+          writeArrayFromNative<jni::jint>(Ctx.Env, Output, Out);
+          return checksumPixels(Out);
+        });
+  }
+
+private:
+  jni::jarray Exposures[3] = {nullptr, nullptr, nullptr};
+  jni::jarray Output = nullptr;
+};
+
+// ---- Object Remover -----------------------------------------------------------
+
+class ObjectRemoverWorkload final : public ImageWorkloadBase {
+public:
+  const char *name() const override { return "Object Remover"; }
+
+  uint64_t run(WorkloadContext &Ctx) override {
+    return rt::callNative(
+        Ctx.Thread, rt::NativeKind::Regular, "object_remover", [&] {
+          std::vector<jni::jint> Px =
+              readArrayToNative<jni::jint>(Ctx.Env, Image);
+
+          // "Remove" a rectangle by diffusion inpainting from its border.
+          constexpr uint32_t X0 = kW / 3, X1 = kW / 3 + 40;
+          constexpr uint32_t Y0 = kH / 3, Y1 = kH / 3 + 30;
+          for (int Iter = 0; Iter < 24; ++Iter) {
+            for (uint32_t Y = Y0; Y < Y1; ++Y) {
+              for (uint32_t X = X0; X < X1; ++X) {
+                uint32_t N = static_cast<uint32_t>(Px[(Y - 1) * kW + X]);
+                uint32_t S = static_cast<uint32_t>(Px[(Y + 1) * kW + X]);
+                uint32_t W = static_cast<uint32_t>(Px[Y * kW + X - 1]);
+                uint32_t E = static_cast<uint32_t>(Px[Y * kW + X + 1]);
+                Px[Y * kW + X] = static_cast<jni::jint>(packRgb(
+                    (redOf(N) + redOf(S) + redOf(W) + redOf(E)) / 4,
+                    (greenOf(N) + greenOf(S) + greenOf(W) + greenOf(E)) / 4,
+                    (blueOf(N) + blueOf(S) + blueOf(W) + blueOf(E)) / 4));
+              }
+            }
+          }
+
+          writeArrayFromNative<jni::jint>(Ctx.Env, Image, Px);
+          return checksumPixels(Px);
+        });
+  }
+
+protected:
+  uint64_t seedSalt() const override { return 0x0B7Eu; }
+};
+
+// ---- Photo Library -------------------------------------------------------------
+
+class PhotoLibraryWorkload final : public Workload {
+public:
+  const char *name() const override { return "Photo Library"; }
+
+  void prepare(WorkloadContext &Ctx) override {
+    for (int P = 0; P < kPhotos; ++P) {
+      Photos[P] = Ctx.Env.NewIntArray(Ctx.Scope, kW * kH);
+      fillSyntheticPhoto(Photos[P], Ctx.Seed ^ (0x11bul * (P + 1)));
+    }
+  }
+
+  uint64_t run(WorkloadContext &Ctx) override {
+    return rt::callNative(
+        Ctx.Thread, rt::NativeKind::Regular, "photo_library_index", [&] {
+          uint64_t Sum = 0;
+          for (int P = 0; P < kPhotos; ++P) {
+            std::vector<jni::jint> Px =
+                readArrayToNative<jni::jint>(Ctx.Env, Photos[P]);
+
+            // Thumbnail (4x decimation) + 64-bin luminance histogram:
+            // the classifier features of a gallery indexer.
+            std::array<uint32_t, 64> Hist{};
+            uint64_t ThumbSum = 0;
+            for (uint32_t Y = 0; Y < kH; Y += 4) {
+              for (uint32_t X = 0; X < kW; X += 4) {
+                uint32_t Pix = static_cast<uint32_t>(Px[Y * kW + X]);
+                uint32_t Lum =
+                    (299 * redOf(Pix) + 587 * greenOf(Pix) +
+                     114 * blueOf(Pix)) /
+                    1000;
+                ++Hist[Lum >> 2];
+                ThumbSum += Pix & 0xFFFFFF;
+              }
+            }
+            Sum = mixChecksum(Sum, ThumbSum);
+            for (uint32_t H : Hist)
+              Sum = mixChecksum(Sum, H);
+          }
+          return Sum;
+        });
+  }
+
+private:
+  static constexpr int kPhotos = 4;
+  jni::jarray Photos[kPhotos] = {};
+};
+
+// ---- Horizon Detection -----------------------------------------------------------
+
+class HorizonDetectionWorkload final : public ImageWorkloadBase {
+public:
+  const char *name() const override { return "Horizon Detection"; }
+
+  uint64_t run(WorkloadContext &Ctx) override {
+    return rt::callNative(
+        Ctx.Thread, rt::NativeKind::Regular, "horizon_detect", [&] {
+          std::vector<jni::jint> Px =
+              readArrayToNative<jni::jint>(Ctx.Env, Image);
+
+          // Vertical gradient magnitude, then vote for the row with the
+          // strongest cumulative horizontal edge (the horizon).
+          std::vector<uint32_t> RowVotes(kH, 0);
+          for (uint32_t Y = 1; Y < kH - 1; ++Y) {
+            for (uint32_t X = 0; X < kW; ++X) {
+              uint32_t A = static_cast<uint32_t>(Px[(Y - 1) * kW + X]);
+              uint32_t B = static_cast<uint32_t>(Px[(Y + 1) * kW + X]);
+              int LumA = static_cast<int>(
+                  (redOf(A) + greenOf(A) + blueOf(A)) / 3);
+              int LumB = static_cast<int>(
+                  (redOf(B) + greenOf(B) + blueOf(B)) / 3);
+              RowVotes[Y] += static_cast<uint32_t>(std::abs(LumA - LumB));
+            }
+          }
+          uint32_t BestRow = 0;
+          for (uint32_t Y = 1; Y < kH; ++Y)
+            if (RowVotes[Y] > RowVotes[BestRow])
+              BestRow = Y;
+
+          uint64_t Sum = BestRow;
+          for (uint32_t V : RowVotes)
+            Sum = mixChecksum(Sum, V);
+          return Sum;
+        });
+  }
+
+protected:
+  uint64_t seedSalt() const override { return 0x40u; }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeBackgroundBlur() {
+  return std::make_unique<BackgroundBlurWorkload>();
+}
+std::unique_ptr<Workload> makePhotoFilter() {
+  return std::make_unique<PhotoFilterWorkload>();
+}
+std::unique_ptr<Workload> makeHdr() { return std::make_unique<HdrWorkload>(); }
+std::unique_ptr<Workload> makeObjectRemover() {
+  return std::make_unique<ObjectRemoverWorkload>();
+}
+std::unique_ptr<Workload> makePhotoLibrary() {
+  return std::make_unique<PhotoLibraryWorkload>();
+}
+std::unique_ptr<Workload> makeHorizonDetection() {
+  return std::make_unique<HorizonDetectionWorkload>();
+}
+
+} // namespace mte4jni::workloads

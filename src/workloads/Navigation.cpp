@@ -1,0 +1,106 @@
+//===- Navigation.cpp - "Navigation" workload -----------------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Models Geekbench's Navigation sub-item: shortest-path queries on a road
+// network. The edge-weight grid lives in a Java int array; native code
+// pulls it across the JNI boundary and runs Dijkstra with a binary heap
+// for several origin/destination pairs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+#include "mte4jni/rt/Trampoline.h"
+
+#include <queue>
+
+namespace mte4jni::workloads {
+namespace {
+
+class NavigationWorkload final : public Workload {
+public:
+  const char *name() const override { return "Navigation"; }
+
+  void prepare(WorkloadContext &Ctx) override {
+    support::Xoshiro256 Rng(Ctx.Seed ^ 0x9A7);
+    Costs = Ctx.Env.NewIntArray(Ctx.Scope, kN * kN);
+    auto *C = rt::arrayData<jni::jint>(Costs);
+    for (uint32_t I = 0; I < kN * kN; ++I)
+      C[I] = static_cast<jni::jint>(1 + Rng.nextBelow(9));
+    // Cheap "motorways": two low-cost corridors.
+    for (uint32_t I = 0; I < kN; ++I) {
+      C[(kN / 3) * kN + I] = 1;
+      C[I * kN + (2 * kN / 3)] = 1;
+    }
+  }
+
+  uint64_t run(WorkloadContext &Ctx) override {
+    return rt::callNative(
+        Ctx.Thread, rt::NativeKind::Regular, "navigation_route", [&] {
+          std::vector<jni::jint> C =
+              readArrayToNative<jni::jint>(Ctx.Env, Costs);
+
+          uint64_t Sum = 0;
+          const std::pair<uint32_t, uint32_t> Queries[] = {
+              {0, kN * kN - 1},
+              {kN - 1, kN * (kN - 1)},
+              {kN / 2, kN * kN - kN / 2},
+          };
+          for (auto [Src, Dst] : Queries)
+            Sum = mixChecksum(Sum, dijkstra(C, Src, Dst));
+          return Sum;
+        });
+  }
+
+private:
+  static constexpr uint32_t kN = 96; // 96x96 grid
+
+  static uint64_t dijkstra(const std::vector<jni::jint> &C, uint32_t Src,
+                           uint32_t Dst) {
+    constexpr uint32_t Inf = UINT32_MAX;
+    std::vector<uint32_t> Dist(kN * kN, Inf);
+    using Item = std::pair<uint32_t, uint32_t>; // (dist, node)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> Heap;
+    Dist[Src] = 0;
+    Heap.push({0, Src});
+    while (!Heap.empty()) {
+      auto [D, U] = Heap.top();
+      Heap.pop();
+      if (D > Dist[U])
+        continue;
+      if (U == Dst)
+        break;
+      uint32_t X = U % kN, Y = U / kN;
+      const int32_t DX[] = {1, -1, 0, 0};
+      const int32_t DY[] = {0, 0, 1, -1};
+      for (int Dir = 0; Dir < 4; ++Dir) {
+        int32_t NX = static_cast<int32_t>(X) + DX[Dir];
+        int32_t NY = static_cast<int32_t>(Y) + DY[Dir];
+        if (NX < 0 || NY < 0 || NX >= int32_t(kN) || NY >= int32_t(kN))
+          continue;
+        uint32_t V = static_cast<uint32_t>(NY) * kN +
+                     static_cast<uint32_t>(NX);
+        uint32_t ND = D + static_cast<uint32_t>(C[V]);
+        if (ND < Dist[V]) {
+          Dist[V] = ND;
+          Heap.push({ND, V});
+        }
+      }
+    }
+    return Dist[Dst];
+  }
+
+  jni::jarray Costs = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeNavigation() {
+  return std::make_unique<NavigationWorkload>();
+}
+
+} // namespace mte4jni::workloads

@@ -1,0 +1,104 @@
+//===- PdfRenderer.cpp - "PDF Renderer" workload -------------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Models Geekbench's PDF Renderer sub-item: rasterise a page description
+// (filled rectangles, glyph boxes, horizontal rules) into an RGBA
+// framebuffer. The framebuffer is a Java int array written *pixel by pixel
+// through the JNI pointer* — the third §5.4 JNI-intensive workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+#include "mte4jni/rt/Trampoline.h"
+
+#include <algorithm>
+
+namespace mte4jni::workloads {
+namespace {
+
+struct DrawOp {
+  uint16_t X, Y, W, H;
+  uint32_t Color;
+};
+
+class PdfRendererWorkload final : public Workload {
+public:
+  const char *name() const override { return "PDF Renderer"; }
+  bool isJniIntensive() const override { return true; }
+
+  void prepare(WorkloadContext &Ctx) override {
+    Framebuffer = Ctx.Env.NewIntArray(Ctx.Scope, kWidth * kHeight);
+
+    // A deterministic "page": text lines (small glyph boxes), a figure
+    // (large rect) and rules.
+    support::Xoshiro256 Rng(Ctx.Seed ^ 0x9DF);
+    Ops.clear();
+    // Figure block.
+    Ops.push_back({40, 40, 240, 160, 0xFF8899AA});
+    // Horizontal rules.
+    for (uint16_t Y = 220; Y < kHeight - 20; Y += 60)
+      Ops.push_back({20, Y, kWidth - 40, 2, 0xFF000000});
+    // Glyph boxes: ~12 lines of ~40 glyphs.
+    for (uint16_t Line = 0; Line < 12; ++Line) {
+      uint16_t Y = static_cast<uint16_t>(240 + Line * 20);
+      uint16_t X = 24;
+      while (X < kWidth - 32) {
+        uint16_t W = static_cast<uint16_t>(4 + Rng.nextBelow(8));
+        Ops.push_back({X, Y, W, 12,
+                       0xFF000000u | unsigned(Rng.nextBelow(0x40))});
+        X = static_cast<uint16_t>(X + W + 2 + Rng.nextBelow(4));
+      }
+    }
+  }
+
+  uint64_t run(WorkloadContext &Ctx) override {
+    return rt::callNative(
+        Ctx.Thread, rt::NativeKind::Regular, "pdf_render", [&] {
+          jni::jboolean IsCopy;
+          auto Fb = Ctx.Env.GetIntArrayElements(Framebuffer, &IsCopy);
+
+          // Clear to paper white, then rasterise each op with alpha-less
+          // src-over writes; every pixel goes through the JNI pointer.
+          const jni::jint White = static_cast<jni::jint>(0xFFFFFFFF);
+          for (uint32_t I = 0; I < kWidth * kHeight; ++I)
+            mte::store<jni::jint>(Fb + I, White);
+
+          for (const DrawOp &Op : Ops) {
+            uint32_t X1 = std::min<uint32_t>(Op.X + Op.W, kWidth);
+            uint32_t Y1 = std::min<uint32_t>(Op.Y + Op.H, kHeight);
+            for (uint32_t Y = Op.Y; Y < Y1; ++Y)
+              for (uint32_t X = Op.X; X < X1; ++X)
+                mte::store<jni::jint>(Fb + (Y * kWidth + X),
+                                      static_cast<jni::jint>(Op.Color));
+          }
+
+          // Checksum a sparse sample of the page.
+          uint64_t Sum = 0;
+          for (uint32_t I = 0; I < kWidth * kHeight; I += 97)
+            Sum = mixChecksum(
+                Sum, static_cast<uint32_t>(mte::load<jni::jint>(Fb + I)));
+
+          Ctx.Env.ReleaseIntArrayElements(Framebuffer, Fb, 0);
+          return Sum;
+        });
+  }
+
+private:
+  static constexpr uint32_t kWidth = 320;
+  static constexpr uint32_t kHeight = 440;
+  jni::jarray Framebuffer = nullptr;
+  std::vector<DrawOp> Ops;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makePdfRenderer() {
+  return std::make_unique<PdfRendererWorkload>();
+}
+
+} // namespace mte4jni::workloads

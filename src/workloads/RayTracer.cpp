@@ -1,0 +1,179 @@
+//===- RayTracer.cpp - "Ray Tracer" workload -------------------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Models Geekbench's Ray Tracer sub-item: a small sphere scene with
+// Lambertian shading, hard shadows and one reflection bounce. Scene
+// parameters live in a Java float array; the rendered tile is written back
+// into a Java int array in bulk.
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+#include "mte4jni/rt/Trampoline.h"
+
+#include <cmath>
+
+namespace mte4jni::workloads {
+namespace {
+
+struct Vec3 {
+  double X = 0, Y = 0, Z = 0;
+  Vec3 operator+(const Vec3 &O) const { return {X + O.X, Y + O.Y, Z + O.Z}; }
+  Vec3 operator-(const Vec3 &O) const { return {X - O.X, Y - O.Y, Z - O.Z}; }
+  Vec3 operator*(double S) const { return {X * S, Y * S, Z * S}; }
+  double dot(const Vec3 &O) const { return X * O.X + Y * O.Y + Z * O.Z; }
+  Vec3 normalized() const {
+    double L = std::sqrt(dot(*this));
+    return L > 0 ? *this * (1.0 / L) : *this;
+  }
+};
+
+struct Sphere {
+  Vec3 Center;
+  double Radius = 1;
+  Vec3 Color;
+  double Reflect = 0;
+};
+
+class RayTracerWorkload final : public Workload {
+public:
+  const char *name() const override { return "Ray Tracer"; }
+
+  void prepare(WorkloadContext &Ctx) override {
+    // Scene: 7 floats per sphere (center, radius, rgb... pack reflect into
+    // color w), stored in a Java float array like a game would marshal it.
+    support::Xoshiro256 Rng(Ctx.Seed ^ 0x7A3);
+    SceneData = Ctx.Env.NewFloatArray(Ctx.Scope, kSpheres * 8);
+    auto *F = rt::arrayData<jni::jfloat>(SceneData);
+    for (uint32_t S = 0; S < kSpheres; ++S) {
+      F[S * 8 + 0] = static_cast<jni::jfloat>(Rng.nextDouble() * 8 - 4);
+      F[S * 8 + 1] = static_cast<jni::jfloat>(Rng.nextDouble() * 2 - 0.5);
+      F[S * 8 + 2] = static_cast<jni::jfloat>(6 + Rng.nextDouble() * 6);
+      F[S * 8 + 3] = static_cast<jni::jfloat>(0.4 + Rng.nextDouble());
+      F[S * 8 + 4] = static_cast<jni::jfloat>(Rng.nextDouble());
+      F[S * 8 + 5] = static_cast<jni::jfloat>(Rng.nextDouble());
+      F[S * 8 + 6] = static_cast<jni::jfloat>(Rng.nextDouble());
+      F[S * 8 + 7] = static_cast<jni::jfloat>(Rng.nextBool(0.4) ? 0.5 : 0.0);
+    }
+    Tile = Ctx.Env.NewIntArray(Ctx.Scope, kW * kH);
+  }
+
+  uint64_t run(WorkloadContext &Ctx) override {
+    return rt::callNative(
+        Ctx.Thread, rt::NativeKind::Regular, "ray_trace", [&] {
+          std::vector<jni::jfloat> F =
+              readArrayToNative<jni::jfloat>(Ctx.Env, SceneData);
+          std::vector<Sphere> Scene(kSpheres);
+          for (uint32_t S = 0; S < kSpheres; ++S) {
+            Scene[S].Center = {F[S * 8], F[S * 8 + 1], F[S * 8 + 2]};
+            Scene[S].Radius = F[S * 8 + 3];
+            Scene[S].Color = {F[S * 8 + 4], F[S * 8 + 5], F[S * 8 + 6]};
+            Scene[S].Reflect = F[S * 8 + 7];
+          }
+
+          std::vector<jni::jint> Out(kW * kH);
+          const Vec3 Light = Vec3{-5, 8, -2}.normalized();
+          for (uint32_t Y = 0; Y < kH; ++Y) {
+            for (uint32_t X = 0; X < kW; ++X) {
+              Vec3 Dir = Vec3{(double(X) / kW - 0.5) * 1.6,
+                              (0.5 - double(Y) / kH) * 1.2, 1.0}
+                             .normalized();
+              Vec3 C = trace(Scene, {0, 1, 0}, Dir, Light, 2);
+              auto Q = [](double V) {
+                return static_cast<uint32_t>(
+                    std::min(255.0, std::max(0.0, V * 255.0)));
+              };
+              Out[Y * kW + X] = static_cast<jni::jint>(
+                  0xFF000000u | (Q(C.X) << 16) | (Q(C.Y) << 8) | Q(C.Z));
+            }
+          }
+
+          writeArrayFromNative<jni::jint>(Ctx.Env, Tile, Out);
+          uint64_t Sum = 0;
+          for (size_t I = 0; I < Out.size(); I += 53)
+            Sum = mixChecksum(Sum, static_cast<uint32_t>(Out[I]));
+          return Sum;
+        });
+  }
+
+private:
+  static constexpr uint32_t kW = 96;
+  static constexpr uint32_t kH = 72;
+  static constexpr uint32_t kSpheres = 8;
+
+  static bool intersect(const Sphere &S, const Vec3 &O, const Vec3 &D,
+                        double &T) {
+    Vec3 OC = O - S.Center;
+    double B = OC.dot(D);
+    double C = OC.dot(OC) - S.Radius * S.Radius;
+    double Disc = B * B - C;
+    if (Disc < 0)
+      return false;
+    double Root = std::sqrt(Disc);
+    double T0 = -B - Root;
+    if (T0 > 1e-4) {
+      T = T0;
+      return true;
+    }
+    double T1 = -B + Root;
+    if (T1 > 1e-4) {
+      T = T1;
+      return true;
+    }
+    return false;
+  }
+
+  static Vec3 trace(const std::vector<Sphere> &Scene, const Vec3 &O,
+                    const Vec3 &D, const Vec3 &Light, int Depth) {
+    double BestT = 1e30;
+    const Sphere *Hit = nullptr;
+    for (const Sphere &S : Scene) {
+      double T;
+      if (intersect(S, O, D, T) && T < BestT) {
+        BestT = T;
+        Hit = &S;
+      }
+    }
+    if (!Hit) {
+      double Sky = 0.5 + 0.5 * D.Y;
+      return {0.4 * Sky, 0.6 * Sky, 0.9 * Sky};
+    }
+    Vec3 P = O + D * BestT;
+    Vec3 N = (P - Hit->Center).normalized();
+    double Diffuse = std::max(0.0, N.dot(Light));
+
+    // Hard shadow.
+    for (const Sphere &S : Scene) {
+      double T;
+      if (&S != Hit && intersect(S, P + N * 1e-3, Light, T)) {
+        Diffuse *= 0.2;
+        break;
+      }
+    }
+
+    Vec3 Color = Hit->Color * (0.15 + 0.85 * Diffuse);
+    if (Depth > 0 && Hit->Reflect > 0) {
+      Vec3 R = D - N * (2.0 * D.dot(N));
+      Vec3 Refl = trace(Scene, P + N * 1e-3, R.normalized(), Light,
+                        Depth - 1);
+      Color = Color * (1.0 - Hit->Reflect) + Refl * Hit->Reflect;
+    }
+    return Color;
+  }
+
+  jni::jarray SceneData = nullptr;
+  jni::jarray Tile = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeRayTracer() {
+  return std::make_unique<RayTracerWorkload>();
+}
+
+} // namespace mte4jni::workloads

@@ -1,0 +1,44 @@
+//===- Registry.cpp - Workload suite registry --------------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+#include <cstring>
+
+namespace mte4jni::workloads {
+
+Workload::~Workload() = default;
+
+std::vector<std::unique_ptr<Workload>> makeAllWorkloads() {
+  std::vector<std::unique_ptr<Workload>> All;
+  All.push_back(makeFileCompression());
+  All.push_back(makeNavigation());
+  All.push_back(makeHtml5Browser());
+  All.push_back(makePdfRenderer());
+  All.push_back(makePhotoLibrary());
+  All.push_back(makeClang());
+  All.push_back(makeTextProcessing());
+  All.push_back(makeAssetCompression());
+  All.push_back(makeObjectDetection());
+  All.push_back(makeBackgroundBlur());
+  All.push_back(makeHorizonDetection());
+  All.push_back(makeObjectRemover());
+  All.push_back(makeHdr());
+  All.push_back(makePhotoFilter());
+  All.push_back(makeRayTracer());
+  All.push_back(makeStructureFromMotion());
+  return All;
+}
+
+std::unique_ptr<Workload> makeWorkload(const char *Name) {
+  for (auto &W : makeAllWorkloads())
+    if (std::strcmp(W->name(), Name) == 0)
+      return std::move(W);
+  return nullptr;
+}
+
+} // namespace mte4jni::workloads

@@ -1,0 +1,108 @@
+//===- TextProcessing.cpp - "Text Processing" workload ------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Models Geekbench's Text Processing sub-item: tokenise a document, build a
+// word-frequency table and a bigram model. The document is a Java byte
+// array scanned byte-by-byte through the JNI pointer — the second of the
+// §5.4 JNI-intensive workloads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+#include "mte4jni/rt/Trampoline.h"
+
+#include <array>
+#include <string>
+
+namespace mte4jni::workloads {
+namespace {
+
+class TextProcessingWorkload final : public Workload {
+public:
+  const char *name() const override { return "Text Processing"; }
+  bool isJniIntensive() const override { return true; }
+
+  void prepare(WorkloadContext &Ctx) override {
+    static const char *Words[] = {
+        "the",    "quick", "brown",   "fox",    "jumps",  "over",
+        "lazy",   "dog",   "android", "memory", "tag",    "java",
+        "native", "heap",  "pointer", "check",  "extension"};
+    support::Xoshiro256 Rng(Ctx.Seed ^ 0x7EE7);
+    std::string Doc;
+    Doc.reserve(kDocBytes);
+    while (Doc.size() < kDocBytes - 16) {
+      Doc += Words[Rng.nextBelow(std::size(Words))];
+      Doc += Rng.nextBool(0.1) ? '\n' : ' ';
+    }
+
+    Document = Ctx.Env.NewByteArray(Ctx.Scope,
+                                    static_cast<jni::jsize>(Doc.size()));
+    auto *Data = rt::arrayData<jni::jbyte>(Document);
+    for (size_t I = 0; I < Doc.size(); ++I)
+      Data[I] = static_cast<jni::jbyte>(Doc[I]);
+  }
+
+  uint64_t run(WorkloadContext &Ctx) override {
+    return rt::callNative(
+        Ctx.Thread, rt::NativeKind::Regular, "text_process", [&] {
+          jni::jboolean IsCopy;
+          auto Text = Ctx.Env.GetByteArrayElements(Document, &IsCopy);
+          const uint64_t Len = Document->Length;
+
+          // Word-frequency via open-addressed hash counts; bigram counts
+          // over a coarse 64-bucket word hash.
+          std::array<uint32_t, 1024> Freq{};
+          std::array<uint32_t, 64 * 64> Bigram{};
+          uint32_t PrevBucket = 0;
+          uint32_t Hash = 2166136261u;
+          bool InWord = false;
+          uint64_t WordCount = 0;
+
+          for (uint64_t I = 0; I < Len; ++I) {
+            char C = static_cast<char>(mte::load<jni::jbyte>(
+                Text + static_cast<ptrdiff_t>(I)));
+            bool IsAlpha = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z');
+            if (IsAlpha) {
+              Hash = (Hash ^ static_cast<uint8_t>(C)) * 16777619u;
+              InWord = true;
+              continue;
+            }
+            if (InWord) {
+              ++WordCount;
+              ++Freq[Hash & 1023];
+              uint32_t Bucket = (Hash >> 10) & 63;
+              ++Bigram[PrevBucket * 64 + Bucket];
+              PrevBucket = Bucket;
+              Hash = 2166136261u;
+              InWord = false;
+            }
+          }
+
+          uint64_t Sum = WordCount;
+          for (uint32_t F : Freq)
+            Sum = mixChecksum(Sum, F);
+          for (uint32_t B : Bigram)
+            Sum = mixChecksum(Sum, B);
+
+          Ctx.Env.ReleaseByteArrayElements(Document, Text, jni::JNI_ABORT);
+          return Sum;
+        });
+  }
+
+private:
+  static constexpr size_t kDocBytes = 64 << 10;
+  jni::jarray Document = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeTextProcessing() {
+  return std::make_unique<TextProcessingWorkload>();
+}
+
+} // namespace mte4jni::workloads

@@ -1,0 +1,227 @@
+//===- Vision.cpp - ML/vision workloads ------------------------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Object Detection: a small convolutional scorer slid over an image
+// (Geekbench's on-device inference class).
+// Structure from Motion: feature extraction + two-view matching +
+// least-squares triangulation-ish solves.
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+#include "mte4jni/rt/Trampoline.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace mte4jni::workloads {
+namespace {
+
+constexpr uint32_t kW = 160;
+constexpr uint32_t kH = 120;
+
+void fillScene(jni::jarray Image, uint64_t Seed, double ShiftX) {
+  support::Xoshiro256 Rng(Seed);
+  auto *Px = rt::arrayData<jni::jfloat>(Image);
+  for (uint32_t Y = 0; Y < kH; ++Y) {
+    for (uint32_t X = 0; X < kW; ++X) {
+      double FX = X - ShiftX;
+      double V = 0.4 + 0.3 * std::sin(FX * 0.11) * std::cos(Y * 0.17) +
+                 0.05 * Rng.nextDouble();
+      Px[Y * kW + X] = static_cast<jni::jfloat>(V);
+    }
+  }
+  // Bright blobs ("objects"/"features").
+  support::Xoshiro256 BlobRng(Seed ^ 0xB10B);
+  for (int B = 0; B < 10; ++B) {
+    int Cx = static_cast<int>(12 + BlobRng.nextBelow(kW - 24) - ShiftX);
+    uint32_t Cy = static_cast<uint32_t>(8 + BlobRng.nextBelow(kH - 16));
+    for (int DY = -3; DY <= 3; ++DY) {
+      for (int DX = -3; DX <= 3; ++DX) {
+        int X = Cx + DX;
+        int Y = static_cast<int>(Cy) + DY;
+        if (X < 0 || Y < 0 || X >= int(kW) || Y >= int(kH))
+          continue;
+        double R2 = DX * DX + DY * DY;
+        Px[static_cast<uint32_t>(Y) * kW + static_cast<uint32_t>(X)] +=
+            static_cast<jni::jfloat>(0.8 * std::exp(-R2 / 4.0));
+      }
+    }
+  }
+}
+
+// ---- Object Detection ---------------------------------------------------------
+
+class ObjectDetectionWorkload final : public Workload {
+public:
+  const char *name() const override { return "Object Detection"; }
+
+  void prepare(WorkloadContext &Ctx) override {
+    Image = Ctx.Env.NewFloatArray(Ctx.Scope, kW * kH);
+    fillScene(Image, Ctx.Seed ^ 0x0BDE, 0.0);
+
+    // A fixed 8-filter 5x5 conv bank.
+    support::Xoshiro256 Rng(Ctx.Seed ^ 0xF117E2);
+    Weights = Ctx.Env.NewFloatArray(Ctx.Scope, kFilters * 25);
+    auto *W = rt::arrayData<jni::jfloat>(Weights);
+    for (uint32_t I = 0; I < kFilters * 25; ++I)
+      W[I] = static_cast<jni::jfloat>(Rng.nextDouble() - 0.5);
+  }
+
+  uint64_t run(WorkloadContext &Ctx) override {
+    return rt::callNative(
+        Ctx.Thread, rt::NativeKind::Regular, "object_detect", [&] {
+          std::vector<jni::jfloat> Img =
+              readArrayToNative<jni::jfloat>(Ctx.Env, Image);
+          std::vector<jni::jfloat> W =
+              readArrayToNative<jni::jfloat>(Ctx.Env, Weights);
+
+          // Stride-2 conv + ReLU + global max per filter, then an argmax
+          // "detection".
+          uint64_t Sum = 0;
+          for (uint32_t F = 0; F < kFilters; ++F) {
+            float Best = -1e9f;
+            uint32_t BestPos = 0;
+            for (uint32_t Y = 2; Y < kH - 2; Y += 2) {
+              for (uint32_t X = 2; X < kW - 2; X += 2) {
+                float Acc = 0;
+                for (int KY = -2; KY <= 2; ++KY)
+                  for (int KX = -2; KX <= 2; ++KX)
+                    Acc += Img[(Y + static_cast<uint32_t>(KY)) * kW + X +
+                               static_cast<uint32_t>(KX)] *
+                           W[F * 25 + static_cast<uint32_t>((KY + 2) * 5 +
+                                                            KX + 2)];
+                if (Acc > Best) {
+                  Best = Acc;
+                  BestPos = Y * kW + X;
+                }
+              }
+            }
+            Sum = mixChecksum(
+                Sum, (uint64_t(BestPos) << 16) ^
+                         static_cast<uint16_t>(Best * 100));
+          }
+          return Sum;
+        });
+  }
+
+private:
+  static constexpr uint32_t kFilters = 8;
+  jni::jarray Image = nullptr;
+  jni::jarray Weights = nullptr;
+};
+
+// ---- Structure from Motion ------------------------------------------------------
+
+class SfmWorkload final : public Workload {
+public:
+  const char *name() const override { return "Structure from Motion"; }
+
+  void prepare(WorkloadContext &Ctx) override {
+    ViewA = Ctx.Env.NewFloatArray(Ctx.Scope, kW * kH);
+    ViewB = Ctx.Env.NewFloatArray(Ctx.Scope, kW * kH);
+    fillScene(ViewA, Ctx.Seed ^ 0x5F4D, 0.0);
+    fillScene(ViewB, Ctx.Seed ^ 0x5F4D, 3.5); // same scene, shifted camera
+  }
+
+  uint64_t run(WorkloadContext &Ctx) override {
+    return rt::callNative(
+        Ctx.Thread, rt::NativeKind::Regular, "sfm_reconstruct", [&] {
+          std::vector<jni::jfloat> A =
+              readArrayToNative<jni::jfloat>(Ctx.Env, ViewA);
+          std::vector<jni::jfloat> B =
+              readArrayToNative<jni::jfloat>(Ctx.Env, ViewB);
+
+          // Harris-ish corner response on each view; keep the strongest
+          // 64 features per view.
+          auto Features = [&](const std::vector<jni::jfloat> &V) {
+            std::vector<std::pair<float, uint32_t>> Corners;
+            for (uint32_t Y = 1; Y < kH - 1; ++Y) {
+              for (uint32_t X = 1; X < kW - 1; ++X) {
+                float DX = V[Y * kW + X + 1] - V[Y * kW + X - 1];
+                float DY = V[(Y + 1) * kW + X] - V[(Y - 1) * kW + X];
+                float R = DX * DX * DY * DY -
+                          0.04f * (DX * DX + DY * DY) * (DX * DX + DY * DY);
+                if (R > 1e-4f)
+                  Corners.push_back({R, Y * kW + X});
+              }
+            }
+            std::partial_sort(
+                Corners.begin(),
+                Corners.begin() +
+                    std::min<size_t>(Corners.size(), kFeatures),
+                Corners.end(), std::greater<>());
+            Corners.resize(std::min<size_t>(Corners.size(), kFeatures));
+            return Corners;
+          };
+          auto FA = Features(A);
+          auto FB = Features(B);
+
+          // Match by 7x7 patch SSD; accumulate disparities.
+          uint64_t Sum = 0;
+          double DispSum = 0;
+          unsigned Matches = 0;
+          for (const auto &[RA, PosA] : FA) {
+            uint32_t XA = PosA % kW, YA = PosA / kW;
+            if (XA < 4 || XA >= kW - 4 || YA < 4 || YA >= kH - 4)
+              continue;
+            float BestSsd = 1e9f;
+            uint32_t BestX = XA;
+            for (const auto &[RB, PosB] : FB) {
+              uint32_t XB = PosB % kW, YB = PosB / kW;
+              if (XB < 4 || XB >= kW - 4 || YB < 4 || YB >= kH - 4)
+                continue;
+              if (std::abs(int(YB) - int(YA)) > 2)
+                continue; // epipolar band
+              float Ssd = 0;
+              for (int DY = -3; DY <= 3; ++DY)
+                for (int DX = -3; DX <= 3; ++DX) {
+                  float D = A[(YA + static_cast<uint32_t>(DY)) * kW + XA +
+                              static_cast<uint32_t>(DX)] -
+                            B[(YB + static_cast<uint32_t>(DY)) * kW + XB +
+                              static_cast<uint32_t>(DX)];
+                  Ssd += D * D;
+                }
+              if (Ssd < BestSsd) {
+                BestSsd = Ssd;
+                BestX = XB;
+              }
+            }
+            if (BestSsd < 0.5f) {
+              double Disp = double(XA) - double(BestX);
+              DispSum += Disp;
+              ++Matches;
+              // "Triangulate": depth ~ baseline / disparity.
+              double Depth = Disp != 0 ? 100.0 / Disp : 0.0;
+              Sum = mixChecksum(Sum,
+                                static_cast<uint64_t>(Depth * 16) ^ PosA);
+            }
+          }
+          Sum = mixChecksum(Sum, Matches);
+          Sum = mixChecksum(Sum, static_cast<uint64_t>(DispSum * 4));
+          return Sum;
+        });
+  }
+
+private:
+  static constexpr size_t kFeatures = 64;
+  jni::jarray ViewA = nullptr;
+  jni::jarray ViewB = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeObjectDetection() {
+  return std::make_unique<ObjectDetectionWorkload>();
+}
+std::unique_ptr<Workload> makeStructureFromMotion() {
+  return std::make_unique<SfmWorkload>();
+}
+
+} // namespace mte4jni::workloads

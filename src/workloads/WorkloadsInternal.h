@@ -1,0 +1,34 @@
+//===- WorkloadsInternal.h - Per-workload factory declarations --------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_WORKLOADS_WORKLOADSINTERNAL_H
+#define MTE4JNI_WORKLOADS_WORKLOADSINTERNAL_H
+
+#include "mte4jni/workloads/Workload.h"
+
+namespace mte4jni::workloads {
+
+std::unique_ptr<Workload> makeFileCompression();
+std::unique_ptr<Workload> makeNavigation();
+std::unique_ptr<Workload> makeHtml5Browser();
+std::unique_ptr<Workload> makePdfRenderer();
+std::unique_ptr<Workload> makePhotoLibrary();
+std::unique_ptr<Workload> makeClang();
+std::unique_ptr<Workload> makeTextProcessing();
+std::unique_ptr<Workload> makeAssetCompression();
+std::unique_ptr<Workload> makeObjectDetection();
+std::unique_ptr<Workload> makeBackgroundBlur();
+std::unique_ptr<Workload> makeHorizonDetection();
+std::unique_ptr<Workload> makeObjectRemover();
+std::unique_ptr<Workload> makeHdr();
+std::unique_ptr<Workload> makePhotoFilter();
+std::unique_ptr<Workload> makeRayTracer();
+std::unique_ptr<Workload> makeStructureFromMotion();
+
+} // namespace mte4jni::workloads
+
+#endif // MTE4JNI_WORKLOADS_WORKLOADSINTERNAL_H

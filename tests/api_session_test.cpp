@@ -1,0 +1,136 @@
+//===- api_session_test.cpp - The Session façade --------------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/api/Session.h"
+#include "mte4jni/mte/Access.h"
+#include "mte4jni/mte/MteSystem.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace mte4jni;
+using api::Scheme;
+
+TEST(Session, SchemeNames) {
+  EXPECT_STREQ(api::schemeName(Scheme::NoProtection), "no-protection");
+  EXPECT_STREQ(api::schemeName(Scheme::GuardedCopy), "guarded-copy");
+  EXPECT_STREQ(api::schemeName(Scheme::Mte4JniSync), "mte4jni+sync");
+  EXPECT_STREQ(api::schemeName(Scheme::Mte4JniAsync), "mte4jni+async");
+}
+
+TEST(Session, WiresCheckModePerScheme) {
+  {
+    api::Session S({.Protection = Scheme::NoProtection});
+    EXPECT_EQ(mte::MteSystem::instance().processCheckMode(),
+              mte::CheckMode::None);
+    EXPECT_EQ(S.mtePolicy(), nullptr);
+    EXPECT_EQ(S.guardedPolicy(), nullptr);
+  }
+  {
+    api::Session S({.Protection = Scheme::GuardedCopy});
+    EXPECT_EQ(mte::MteSystem::instance().processCheckMode(),
+              mte::CheckMode::None);
+    EXPECT_NE(S.guardedPolicy(), nullptr);
+  }
+  {
+    api::Session S({.Protection = Scheme::Mte4JniSync});
+    EXPECT_EQ(mte::MteSystem::instance().processCheckMode(),
+              mte::CheckMode::Sync);
+    EXPECT_NE(S.mtePolicy(), nullptr);
+    EXPECT_TRUE(S.runtime().config().TagChecksInNative);
+  }
+  {
+    api::Session S({.Protection = Scheme::Mte4JniAsync});
+    EXPECT_EQ(mte::MteSystem::instance().processCheckMode(),
+              mte::CheckMode::Async);
+  }
+}
+
+TEST(Session, SequentialSessionsAreIndependent) {
+  for (int Round = 0; Round < 3; ++Round) {
+    api::Session S({.Protection = Scheme::Mte4JniSync});
+    api::ScopedAttach Main(S, "main");
+    rt::HandleScope Scope(S.runtime());
+    jni::jarray A = Main.env().NewIntArray(Scope, 18);
+    rt::callNative(Main.thread(), rt::NativeKind::Regular, "bug", [&] {
+      jni::jboolean IsCopy;
+      auto P = Main.env().GetIntArrayElements(A, &IsCopy);
+      mte::store<jni::jint>(P + 21, 1);
+      Main.env().ReleaseIntArrayElements(A, P, 0);
+      return 0;
+    });
+    // Each session starts with a clean fault log.
+    EXPECT_EQ(S.faults().totalCount(), 1u) << "round " << Round;
+  }
+}
+
+TEST(Session, ConfigurationIsPlumbedThrough) {
+  api::SessionConfig C;
+  C.Protection = Scheme::Mte4JniSync;
+  C.Locks = core::LockScheme::GlobalLock;
+  C.NumHashTables = 8;
+  C.ExcludeAdjacentTags = true;
+  C.HeapBytes = 16ull << 20;
+  api::Session S(C);
+  ASSERT_NE(S.mtePolicy(), nullptr);
+  EXPECT_EQ(S.mtePolicy()->allocator().lockScheme(),
+            core::LockScheme::GlobalLock);
+  EXPECT_EQ(S.mtePolicy()->allocator().table().numTables(), 8u);
+  EXPECT_GE(S.runtime().heap().capacity(), 16ull << 20);
+}
+
+TEST(Session, StatsReportMentionsTheInterestingNumbers) {
+  api::Session S({.Protection = Scheme::Mte4JniSync});
+  api::ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray A = Main.env().NewIntArray(Scope, 64);
+  rt::callNative(Main.thread(), rt::NativeKind::Regular, "work", [&] {
+    jni::jboolean IsCopy;
+    auto P = Main.env().GetIntArrayElements(A, &IsCopy);
+    Main.env().ReleaseIntArrayElements(A, P, 0);
+    return 0;
+  });
+
+  std::string Report = S.statsReport();
+  EXPECT_NE(Report.find("mte4jni+sync"), std::string::npos);
+  EXPECT_NE(Report.find("heap:"), std::string::npos);
+  EXPECT_NE(Report.find("mte4jni: 1 acquires (1 generated / 0 shared)"),
+            std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("1 releases"), std::string::npos);
+  EXPECT_NE(Report.find("faults recorded: 0"), std::string::npos);
+}
+
+TEST(Session, GuardedStatsReport) {
+  api::Session S({.Protection = Scheme::GuardedCopy});
+  api::ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray A = Main.env().NewIntArray(Scope, 64);
+  jni::jboolean IsCopy;
+  auto P = Main.env().GetIntArrayElements(A, &IsCopy);
+  Main.env().ReleaseIntArrayElements(A, P, 0);
+
+  std::string Report = S.statsReport();
+  EXPECT_NE(Report.find("guarded-copy: 1 acquires, 1 releases"),
+            std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("0 corruptions"), std::string::npos);
+}
+
+TEST(Session, MakeEnvGivesIndependentEnvs) {
+  api::Session S({.Protection = Scheme::NoProtection});
+  api::ScopedAttach Main(S, "main");
+  auto Env2 = S.makeEnv();
+  // Errors are per-env, like per-thread pending exceptions.
+  Env2->GetArrayLength(nullptr);
+  EXPECT_TRUE(Env2->ExceptionCheck());
+  EXPECT_FALSE(Main.env().ExceptionCheck());
+  Env2->ExceptionClear();
+}
+
+} // namespace

@@ -1,0 +1,70 @@
+//===- fault_abort_test.cpp - FaultAction::Abort death test --------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The fault handler can ask for real-device behaviour: print the report
+// and abort the process. Verified with a gtest death test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/api/Session.h"
+#include "mte4jni/mte/Access.h"
+#include "mte4jni/mte/MteSystem.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace mte4jni;
+
+void triggerFatalOverflow() {
+  api::SessionConfig C;
+  C.Protection = api::Scheme::Mte4JniSync;
+  api::Session S(C);
+  mte::MteSystem::instance().setFaultHandler(
+      [](void *, const mte::FaultRecord &) {
+        return mte::FaultAction::Abort; // emulate the device
+      },
+      nullptr);
+  api::ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray Array = Main.env().NewIntArray(Scope, 18);
+  rt::callNative(Main.thread(), rt::NativeKind::Regular, "test_ofb", [&] {
+    jni::jboolean IsCopy;
+    auto P = Main.env()
+                 .GetPrimitiveArrayCritical(Array, &IsCopy)
+                 .cast<jni::jint>();
+    mte::store<jni::jint>(P + 21, 1); // aborts here
+    Main.env().ReleasePrimitiveArrayCritical(Array, P.cast<void>(), 0);
+    return 0;
+  });
+}
+
+TEST(FaultAbortDeathTest, AbortActionKillsTheProcess) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(triggerFatalOverflow(), "SEGV_MTESERR");
+}
+
+TEST(FaultAbortDeathTest, ContinueActionDoesNot) {
+  api::SessionConfig C;
+  C.Protection = api::Scheme::Mte4JniSync;
+  api::Session S(C);
+  api::ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray Array = Main.env().NewIntArray(Scope, 18);
+  rt::callNative(Main.thread(), rt::NativeKind::Regular, "test_ofb", [&] {
+    jni::jboolean IsCopy;
+    auto P = Main.env()
+                 .GetPrimitiveArrayCritical(Array, &IsCopy)
+                 .cast<jni::jint>();
+    mte::store<jni::jint>(P + 21, 1);
+    Main.env().ReleasePrimitiveArrayCritical(Array, P.cast<void>(), 0);
+    return 0;
+  });
+  EXPECT_EQ(S.faults().totalCount(), 1u); // recorded, still alive
+}
+
+} // namespace

@@ -1,0 +1,185 @@
+//===- integration_gc_test.cpp - GC vs tagged memory (§3.3) --------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end checks of the paper's §3.3 concern: runtime support threads
+// access the heap with untagged pointers while native code holds objects
+// tagged. Correct TCO management keeps them fault-free; broken management
+// reproduces the spurious-fault failure mode.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/api/Session.h"
+#include "mte4jni/mte/Access.h"
+#include "mte4jni/mte/ThreadState.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace {
+
+using namespace mte4jni;
+
+TEST(GcIntegration, GcVerifyIsCleanWhileNativeHoldsTaggedArray) {
+  api::SessionConfig C;
+  C.Protection = api::Scheme::Mte4JniSync;
+  C.GcVerifiesBodies = true;
+  api::Session S(C);
+  api::ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray Array = Main.env().NewIntArray(Scope, 1024);
+
+  rt::callNative(Main.thread(), rt::NativeKind::Regular, "holder", [&] {
+    jni::jboolean IsCopy;
+    auto P = Main.env().GetIntArrayElements(Array, &IsCopy);
+
+    std::thread Gc([&] {
+      S.runtime().attachCurrentThread("HeapTaskDaemon",
+                                      rt::ThreadKind::GcSupport);
+      // Correct §3.3 behaviour: support threads run with TCO set.
+      mte::ThreadState::current().setTco(true);
+      S.runtime().gc().collect();
+      S.runtime().detachCurrentThread();
+    });
+    Gc.join();
+
+    Main.env().ReleaseIntArrayElements(Array, P, 0);
+    return 0;
+  });
+
+  EXPECT_EQ(S.faults().totalCount(), 0u);
+}
+
+TEST(GcIntegration, GcWithChecksEnabledFaultsSpuriously) {
+  api::SessionConfig C;
+  C.Protection = api::Scheme::Mte4JniSync;
+  C.GcVerifiesBodies = true;
+  // The failure mode the paper warns about: the collector's tag checks
+  // left enabled.
+  C.GcSuppressTagChecks = false;
+  api::Session S(C);
+  api::ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray Array = Main.env().NewIntArray(Scope, 1024);
+
+  rt::callNative(Main.thread(), rt::NativeKind::Regular, "holder", [&] {
+    jni::jboolean IsCopy;
+    auto P = Main.env().GetIntArrayElements(Array, &IsCopy);
+
+    std::thread Gc([&] {
+      S.runtime().attachCurrentThread("BrokenDaemon",
+                                      rt::ThreadKind::GcSupport);
+      S.runtime().gc().collect();
+      S.runtime().detachCurrentThread();
+    });
+    Gc.join();
+
+    Main.env().ReleaseIntArrayElements(Array, P, 0);
+    return 0;
+  });
+
+  EXPECT_GT(S.faults().countOf(mte::FaultKind::TagMismatchSync), 0u)
+      << "untagged GC pointers against tagged memory must fault";
+}
+
+TEST(GcIntegration, BackgroundGcRunsCleanUnderMte4Jni) {
+  // The Session default wiring (support thread TCO suppressed) must keep
+  // a busy background GC quiet while native threads hammer arrays.
+  api::SessionConfig C;
+  C.Protection = api::Scheme::Mte4JniSync;
+  C.BackgroundGc = true;
+  C.GcIntervalMillis = 1;
+  C.GcVerifiesBodies = true;
+  api::Session S(C);
+  api::ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+
+  jni::jarray Array = Main.env().NewIntArray(Scope, 2048);
+  for (int Round = 0; Round < 50; ++Round) {
+    rt::callNative(Main.thread(), rt::NativeKind::Regular, "worker", [&] {
+      jni::jboolean IsCopy;
+      auto P = Main.env().GetIntArrayElements(Array, &IsCopy);
+      for (int I = 0; I < 2048; I += 16)
+        mte::store<jni::jint>(P + I, I);
+      Main.env().ReleaseIntArrayElements(Array, P, 0);
+      return 0;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(S.faults().totalCount(), 0u);
+  EXPECT_GT(S.runtime().gc().completedCycles(), 0u)
+      << "the background collector must actually have run";
+}
+
+TEST(GcIntegration, CriticalSectionHoldsOffGc) {
+  api::SessionConfig C;
+  C.Protection = api::Scheme::Mte4JniSync;
+  api::Session S(C);
+  api::ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray Array = Main.env().NewIntArray(Scope, 64);
+
+  rt::callNative(Main.thread(), rt::NativeKind::Regular, "critical_user",
+                 [&] {
+                   jni::jboolean IsCopy;
+                   auto P =
+                       Main.env().GetPrimitiveArrayCritical(Array, &IsCopy);
+
+                   uint64_t CyclesBefore =
+                       S.runtime().gc().completedCycles();
+                   std::atomic<bool> GcFinished{false};
+                   std::thread Gc([&] {
+                     S.runtime().attachCurrentThread(
+                         "gc", rt::ThreadKind::GcSupport);
+                     S.runtime().gc().collect();
+                     GcFinished.store(true);
+                     S.runtime().detachCurrentThread();
+                   });
+                   std::this_thread::sleep_for(
+                       std::chrono::milliseconds(50));
+                   EXPECT_FALSE(GcFinished.load())
+                       << "GC must wait for the critical section";
+                   EXPECT_EQ(S.runtime().gc().completedCycles(),
+                             CyclesBefore);
+
+                   Main.env().ReleasePrimitiveArrayCritical(Array, P, 0);
+                   Gc.join();
+                   EXPECT_TRUE(GcFinished.load());
+                   return 0;
+                 });
+  EXPECT_EQ(S.faults().totalCount(), 0u);
+}
+
+TEST(GcIntegration, UnrootedButPinnedArraySurvivesNativeUse) {
+  // An object that loses its root while native code holds it must not be
+  // reclaimed (the JNI pin protects it).
+  api::SessionConfig C;
+  C.Protection = api::Scheme::Mte4JniSync;
+  api::Session S(C);
+  api::ScopedAttach Main(S, "main");
+
+  jni::jarray Array;
+  {
+    rt::HandleScope Scope(S.runtime());
+    Array = Main.env().NewIntArray(Scope, 128);
+
+    rt::callNative(Main.thread(), rt::NativeKind::Regular, "pin_user", [&] {
+      jni::jboolean IsCopy;
+      auto P = Main.env().GetIntArrayElements(Array, &IsCopy);
+      // Root scope dies here... the pin must keep the object alive.
+      return std::pair(P, 0);
+    });
+  }
+  // Out of scope: unrooted. Collect.
+  // (The elements pointer is still outstanding: pinned.)
+  // Note: we intentionally leaked the Get to model native code holding on.
+  S.runtime().gc().collect();
+  EXPECT_TRUE(S.runtime().heap().isLiveObject(Array))
+      << "pinned object reclaimed while native code held it";
+}
+
+} // namespace

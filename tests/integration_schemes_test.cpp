@@ -1,0 +1,269 @@
+//===- integration_schemes_test.cpp - The §5.2 effectiveness matrix ----------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end reproduction of the paper's §5.2 experiment: a native method
+// obtains an 18-int Java array via GetPrimitiveArrayCritical and writes at
+// index 21 (Figure 3). The detection behaviour of each scheme must match
+// the paper:
+//
+//   no protection  — nothing detected
+//   guarded copy   — detected at Release, with the corruption offset,
+//                    backtrace pointing at the runtime abort (Figure 4a);
+//                    OOB *reads* and far writes that skip the red zone are
+//                    missed (§2.3 limitations)
+//   MTE4JNI sync   — detected at the faulting access, precise address and
+//                    backtrace naming the native method (Figure 4b)
+//   MTE4JNI async  — detected at the next syscall, no address (Figure 4c)
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/api/Session.h"
+#include "mte4jni/mte/Access.h"
+#include "mte4jni/mte/MteSystem.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace mte4jni;
+using api::Scheme;
+using api::ScopedAttach;
+using api::Session;
+using api::SessionConfig;
+
+/// Runs Figure 3's buggy native method under the given session: obtains a
+/// pointer to ArrayLen ints and writes at WriteIndex.
+void runOverflowNative(ScopedAttach &Main, jni::jarray Array,
+                       int WriteIndex) {
+  rt::callNative(Main.thread(), rt::NativeKind::Regular, "test_ofb", [&] {
+    jni::jboolean IsCopy;
+    auto Elems = Main.env()
+                     .GetPrimitiveArrayCritical(Array, &IsCopy)
+                     .cast<jni::jint>();
+    mte::store<jni::jint>(Elems + WriteIndex, 0x41414141);
+    Main.env().ReleasePrimitiveArrayCritical(Array, Elems.cast<void>(), 0);
+    return 0;
+  });
+}
+
+SessionConfig configFor(Scheme S) {
+  SessionConfig C;
+  C.Protection = S;
+  C.HeapBytes = 8ull << 20;
+  return C;
+}
+
+TEST(SchemesTest, NoProtectionMissesEverything) {
+  Session S(configFor(Scheme::NoProtection));
+  ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray Array = Main.env().NewIntArray(Scope, 18);
+
+  runOverflowNative(Main, Array, 21);
+  EXPECT_EQ(S.faults().totalCount(), 0u) << "baseline must stay silent";
+}
+
+TEST(SchemesTest, GuardedCopyDetectsWriteAtRelease) {
+  Session S(configFor(Scheme::GuardedCopy));
+  ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray Array = Main.env().NewIntArray(Scope, 18);
+
+  runOverflowNative(Main, Array, 21);
+
+  auto Faults = S.faults().snapshot();
+  ASSERT_EQ(Faults.size(), 1u);
+  const auto &F = Faults[0];
+  EXPECT_EQ(F.Kind, mte::FaultKind::GuardedCopyCorruption);
+  // The reported offset: index 21 of a jint array = byte offset 84,
+  // payload is 72 bytes.
+  EXPECT_NE(F.Description.find("84"), std::string::npos) << F.Description;
+  EXPECT_NE(F.Description.find("overflow"), std::string::npos);
+  // Figure 4a: the trace points at the runtime's abort path, not at the
+  // native method that misbehaved.
+  ASSERT_FALSE(F.Backtrace.empty());
+  EXPECT_STREQ(F.Backtrace[0].Function, "art::Runtime::Abort");
+}
+
+TEST(SchemesTest, GuardedCopyMissesReads) {
+  Session S(configFor(Scheme::GuardedCopy));
+  ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray Array = Main.env().NewIntArray(Scope, 18);
+
+  rt::callNative(Main.thread(), rt::NativeKind::Regular, "test_oob_read",
+                 [&] {
+                   jni::jboolean IsCopy;
+                   auto Elems = Main.env()
+                                    .GetPrimitiveArrayCritical(Array, &IsCopy)
+                                    .cast<jni::jint>();
+                   // OOB read: never changes the red zone.
+                   volatile jni::jint V = mte::load<jni::jint>(Elems + 21);
+                   (void)V;
+                   Main.env().ReleasePrimitiveArrayCritical(
+                       Array, Elems.cast<void>(), 0);
+                   return 0;
+                 });
+  EXPECT_EQ(S.faults().totalCount(), 0u) << "§2.3: reads are invisible";
+}
+
+TEST(SchemesTest, GuardedCopyMissesWritesBeyondRedZone) {
+  SessionConfig C = configFor(Scheme::GuardedCopy);
+  C.GuardedRedZoneBytes = 256;
+  Session S(C);
+  ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray Array = Main.env().NewIntArray(Scope, 18);
+
+  // Scribble into our own decoy buffer placed past the red zone, via an
+  // offset that skips it entirely (72B payload + 256B red zone < 4 KiB).
+  static thread_local volatile char Decoy[1 << 16];
+  (void)Decoy;
+  rt::callNative(
+      Main.thread(), rt::NativeKind::Regular, "test_far_write", [&] {
+        jni::jboolean IsCopy;
+        auto Elems = Main.env()
+                         .GetPrimitiveArrayCritical(Array, &IsCopy)
+                         .cast<jni::jint>();
+        // The guarded copy is on the C heap; a "far" OOB from it lands in
+        // unrelated memory. Simulate by writing to the decoy — the point
+        // is the red zone sees nothing.
+        Decoy[0] = 1;
+        volatile char Readback = Decoy[0];
+        (void)Readback;
+        Main.env().ReleasePrimitiveArrayCritical(Array, Elems.cast<void>(),
+                                                 0);
+        return 0;
+      });
+  EXPECT_EQ(S.faults().totalCount(), 0u)
+      << "§2.3: accesses skipping the red zones are invisible";
+}
+
+TEST(SchemesTest, MteSyncDetectsAtFaultingAccess) {
+  Session S(configFor(Scheme::Mte4JniSync));
+  ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray Array = Main.env().NewIntArray(Scope, 18);
+
+  runOverflowNative(Main, Array, 21);
+
+  auto Faults = S.faults().snapshot();
+  ASSERT_EQ(Faults.size(), 1u);
+  const auto &F = Faults[0];
+  EXPECT_EQ(F.Kind, mte::FaultKind::TagMismatchSync);
+  EXPECT_TRUE(F.HasAddress);
+  // Precise faulting address: payload + 21*4 bytes.
+  EXPECT_EQ(F.Address, Array->dataAddress() + 21 * sizeof(jni::jint));
+  EXPECT_TRUE(F.IsWrite);
+  // Figure 4b: the top frame names the native method itself.
+  ASSERT_FALSE(F.Backtrace.empty());
+  EXPECT_STREQ(F.Backtrace[0].Function, "test_ofb");
+}
+
+TEST(SchemesTest, MteSyncDetectsReadsToo) {
+  Session S(configFor(Scheme::Mte4JniSync));
+  ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray Array = Main.env().NewIntArray(Scope, 18);
+
+  rt::callNative(Main.thread(), rt::NativeKind::Regular, "test_oob_read",
+                 [&] {
+                   jni::jboolean IsCopy;
+                   auto Elems = Main.env()
+                                    .GetPrimitiveArrayCritical(Array, &IsCopy)
+                                    .cast<jni::jint>();
+                   volatile jni::jint V = mte::load<jni::jint>(Elems + 21);
+                   (void)V;
+                   Main.env().ReleasePrimitiveArrayCritical(
+                       Array, Elems.cast<void>(), 0);
+                   return 0;
+                 });
+  auto Faults = S.faults().snapshot();
+  ASSERT_EQ(Faults.size(), 1u);
+  EXPECT_FALSE(Faults[0].IsWrite);
+}
+
+TEST(SchemesTest, MteSyncDetectsFarWrites) {
+  Session S(configFor(Scheme::Mte4JniSync));
+  ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray Array = Main.env().NewIntArray(Scope, 18);
+  // A far write that would skip any red zone but stays inside the
+  // PROT_MTE heap: caught, because the victim granules carry tag 0 (or a
+  // different object's tag).
+  runOverflowNative(Main, Array, 4096);
+  EXPECT_EQ(S.faults().countOf(mte::FaultKind::TagMismatchSync), 1u);
+}
+
+TEST(SchemesTest, MteAsyncDetectsAtNextSyscall) {
+  Session S(configFor(Scheme::Mte4JniAsync));
+  ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray Array = Main.env().NewIntArray(Scope, 18);
+
+  rt::callNative(Main.thread(), rt::NativeKind::Regular, "test_ofb", [&] {
+    jni::jboolean IsCopy;
+    auto Elems = Main.env()
+                     .GetPrimitiveArrayCritical(Array, &IsCopy)
+                     .cast<jni::jint>();
+    mte::store<jni::jint>(Elems + 21, 0x42424242);
+    // Latched but not delivered yet.
+    EXPECT_EQ(S.faults().totalCount(), 0u);
+    // Figure 4c: the first syscall after the corruption delivers it.
+    mte::simulatedSyscall("getuid");
+    EXPECT_EQ(S.faults().countOf(mte::FaultKind::TagMismatchAsync), 1u);
+    Main.env().ReleasePrimitiveArrayCritical(Array, Elems.cast<void>(), 0);
+    return 0;
+  });
+
+  auto Faults = S.faults().snapshot();
+  ASSERT_EQ(Faults.size(), 1u);
+  EXPECT_FALSE(Faults[0].HasAddress) << "async reports carry no address";
+  EXPECT_EQ(Faults[0].DeliveredAtSyscall, "getuid");
+}
+
+TEST(SchemesTest, InBoundsAccessIsCleanUnderAllSchemes) {
+  for (Scheme Sch : {Scheme::NoProtection, Scheme::GuardedCopy,
+                     Scheme::Mte4JniSync, Scheme::Mte4JniAsync}) {
+    Session S(configFor(Sch));
+    ScopedAttach Main(S, "main");
+    rt::HandleScope Scope(S.runtime());
+    jni::jarray Array = Main.env().NewIntArray(Scope, 64);
+
+    rt::callNative(Main.thread(), rt::NativeKind::Regular, "fill", [&] {
+      jni::jboolean IsCopy;
+      auto Elems = Main.env()
+                       .GetIntArrayElements(Array, &IsCopy);
+      for (int I = 0; I < 64; ++I)
+        mte::store<jni::jint>(Elems + I, I * 3);
+      Main.env().ReleaseIntArrayElements(Array, Elems, 0);
+      return 0;
+    });
+    mte::simulatedSyscall("getuid"); // flush any async latch
+
+    EXPECT_EQ(S.faults().totalCount(), 0u) << api::schemeName(Sch);
+    // Data visible from the Java side regardless of copy-back vs direct.
+    const jni::jint *Data = rt::arrayData<jni::jint>(Array);
+    for (int I = 0; I < 64; ++I)
+      ASSERT_EQ(Data[I], I * 3) << api::schemeName(Sch);
+  }
+}
+
+TEST(SchemesTest, HeapAlignmentFollowsScheme) {
+  {
+    Session S(configFor(Scheme::NoProtection));
+    EXPECT_EQ(S.runtime().heap().config().Alignment, 8u);
+    EXPECT_FALSE(S.runtime().heap().config().ProtMte);
+  }
+  {
+    Session S(configFor(Scheme::Mte4JniSync));
+    EXPECT_EQ(S.runtime().heap().config().Alignment, 16u);
+    EXPECT_TRUE(S.runtime().heap().config().ProtMte);
+  }
+}
+
+} // namespace

@@ -1,0 +1,205 @@
+//===- jni_policy_matrix_test.cpp - Every interface under every scheme --------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// A scheme x interface matrix over the paper's Table 1: for each of the
+// four protection schemes, every pointer-returning interface must (a)
+// deliver correct data, (b) honour its isCopy contract, (c) carry a tag
+// exactly when the scheme is MTE4JNI, and (d) round-trip writes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/api/Session.h"
+#include "mte4jni/mte/Access.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace mte4jni;
+using namespace mte4jni::jni;
+
+class PolicyMatrixTest : public ::testing::TestWithParam<api::Scheme> {
+protected:
+  bool isMte() const {
+    return GetParam() == api::Scheme::Mte4JniSync ||
+           GetParam() == api::Scheme::Mte4JniAsync;
+  }
+  bool isGuarded() const { return GetParam() == api::Scheme::GuardedCopy; }
+
+  void SetUp() override {
+    api::SessionConfig C;
+    C.Protection = GetParam();
+    C.HeapBytes = 8 << 20;
+    S = std::make_unique<api::Session>(C);
+    Main = std::make_unique<api::ScopedAttach>(*S, "main");
+    Scope = std::make_unique<rt::HandleScope>(S->runtime());
+  }
+  void TearDown() override {
+    mte::simulatedSyscall("getuid");
+    EXPECT_EQ(S->faults().totalCount(), 0u)
+        << "matrix operations are all in-bounds";
+    Scope.reset();
+    Main.reset();
+    S.reset();
+  }
+
+  std::unique_ptr<api::Session> S;
+  std::unique_ptr<api::ScopedAttach> Main;
+  std::unique_ptr<rt::HandleScope> Scope;
+};
+
+TEST_P(PolicyMatrixTest, GetArrayElementsContract) {
+  jintArray A = Main->env().NewIntArray(*Scope, 32);
+  auto *Data = rt::arrayData<jint>(A);
+  for (int I = 0; I < 32; ++I)
+    Data[I] = I * 11;
+
+  rt::callNative(Main->thread(), rt::NativeKind::Regular, "use", [&] {
+    jboolean IsCopy;
+    auto P = Main->env().GetIntArrayElements(A, &IsCopy);
+
+    // isCopy contract per scheme.
+    EXPECT_EQ(IsCopy == JNI_TRUE, isGuarded());
+    // Pointer-tag contract.
+    if (isMte())
+      EXPECT_NE(P.tag(), 0);
+    else
+      EXPECT_EQ(P.tag(), 0);
+    // Direct-vs-copy address contract.
+    if (S->policy().exposesDirectPointers())
+      EXPECT_EQ(P.address(), A->dataAddress());
+    else
+      EXPECT_NE(P.address(), A->dataAddress());
+
+    // Data correct; writes round-trip.
+    for (int I = 0; I < 32; ++I)
+      EXPECT_EQ(mte::load<jint>(P + I), I * 11);
+    mte::store<jint>(P + 5, -99);
+    Main->env().ReleaseIntArrayElements(A, P, 0);
+    return 0;
+  });
+  EXPECT_EQ(rt::arrayData<jint>(A)[5], -99);
+}
+
+TEST_P(PolicyMatrixTest, GetPrimitiveArrayCriticalContract) {
+  jbyteArray A = Main->env().NewByteArray(*Scope, 48);
+  auto *Data = rt::arrayData<jbyte>(A);
+  for (int I = 0; I < 48; ++I)
+    Data[I] = static_cast<jbyte>(I);
+
+  rt::callNative(Main->thread(), rt::NativeKind::Regular, "use", [&] {
+    jboolean IsCopy;
+    auto P = Main->env()
+                 .GetPrimitiveArrayCritical(A, &IsCopy)
+                 .cast<jbyte>();
+    EXPECT_EQ(S->runtime().criticalDepth(), 1u);
+    for (int I = 0; I < 48; ++I)
+      EXPECT_EQ(mte::load<jbyte>(P + I), static_cast<jbyte>(I));
+    mte::store<jbyte>(P + 7, 77);
+    Main->env().ReleasePrimitiveArrayCritical(A, P.cast<void>(), 0);
+    EXPECT_EQ(S->runtime().criticalDepth(), 0u);
+    return 0;
+  });
+  EXPECT_EQ(rt::arrayData<jbyte>(A)[7], 77);
+}
+
+TEST_P(PolicyMatrixTest, GetStringCharsContract) {
+  jstring Str = Main->env().NewStringUTF(*Scope, "matrix");
+  rt::callNative(Main->thread(), rt::NativeKind::Regular, "use", [&] {
+    jboolean IsCopy;
+    auto P = Main->env().GetStringChars(Str, &IsCopy);
+    EXPECT_EQ(IsCopy == JNI_TRUE, isGuarded());
+    if (isMte()) {
+      EXPECT_NE(P.tag(), 0);
+    }
+    EXPECT_EQ(mte::load(P), 'm');
+    EXPECT_EQ(mte::load(P + 5), 'x');
+    Main->env().ReleaseStringChars(Str, P);
+    return 0;
+  });
+}
+
+TEST_P(PolicyMatrixTest, GetStringUTFCharsContract) {
+  jstring Str = Main->env().NewStringUTF(*Scope, "utf-\xC3\xA9");
+  rt::callNative(Main->thread(), rt::NativeKind::Regular, "use", [&] {
+    jboolean IsCopy;
+    auto P = Main->env().GetStringUTFChars(Str, &IsCopy);
+    EXPECT_EQ(IsCopy, JNI_TRUE) << "UTF chars are always a copy";
+    if (isMte()) {
+      EXPECT_NE(P.tag(), 0) << "the UTF copy must be tagged too";
+    }
+    // NUL-terminated, correct content.
+    const char Expected[] = "utf-\xC3\xA9";
+    for (size_t I = 0; I < sizeof(Expected); ++I)
+      EXPECT_EQ(mte::load(P + static_cast<ptrdiff_t>(I)), Expected[I]);
+    Main->env().ReleaseStringUTFChars(Str, P);
+    return 0;
+  });
+}
+
+TEST_P(PolicyMatrixTest, GetStringCriticalContract) {
+  jstring Str = Main->env().NewStringUTF(*Scope, "crit");
+  rt::callNative(Main->thread(), rt::NativeKind::Regular, "use", [&] {
+    jboolean IsCopy;
+    auto P = Main->env().GetStringCritical(Str, &IsCopy);
+    EXPECT_EQ(S->runtime().criticalDepth(), 1u);
+    EXPECT_EQ(mte::load(P), 'c');
+    Main->env().ReleaseStringCritical(Str, P);
+    EXPECT_EQ(S->runtime().criticalDepth(), 0u);
+    return 0;
+  });
+}
+
+TEST_P(PolicyMatrixTest, RegionsWorkIdenticallyEverywhere) {
+  // Get/Set<Prim>ArrayRegion never expose raw pointers; every scheme must
+  // behave identically (runtime-side bounds-checked copies).
+  jintArray A = Main->env().NewIntArray(*Scope, 16);
+  jint Src[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  Main->env().SetIntArrayRegion(A, 4, 8, Src);
+  jint Dst[8] = {};
+  Main->env().GetIntArrayRegion(A, 4, 8, Dst);
+  for (int I = 0; I < 8; ++I)
+    EXPECT_EQ(Dst[I], Src[I]);
+  EXPECT_EQ(rt::arrayData<jint>(A)[0], 0);
+  EXPECT_EQ(rt::arrayData<jint>(A)[4], 1);
+}
+
+TEST_P(PolicyMatrixTest, TwoArraysHeldAtOnce) {
+  jintArray A = Main->env().NewIntArray(*Scope, 8);
+  jintArray B = Main->env().NewIntArray(*Scope, 8);
+  rt::callNative(Main->thread(), rt::NativeKind::Regular, "use", [&] {
+    jboolean IsCopy;
+    auto PA = Main->env().GetIntArrayElements(A, &IsCopy);
+    auto PB = Main->env().GetIntArrayElements(B, &IsCopy);
+    for (int I = 0; I < 8; ++I) {
+      mte::store<jint>(PA + I, I);
+      mte::store<jint>(PB + I, 100 + I);
+    }
+    Main->env().ReleaseIntArrayElements(B, PB, 0);
+    // A still valid after B's release.
+    for (int I = 0; I < 8; ++I)
+      EXPECT_EQ(mte::load<jint>(PA + I), I);
+    Main->env().ReleaseIntArrayElements(A, PA, 0);
+    return 0;
+  });
+  EXPECT_EQ(rt::arrayData<jint>(A)[3], 3);
+  EXPECT_EQ(rt::arrayData<jint>(B)[3], 103);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, PolicyMatrixTest,
+    ::testing::Values(api::Scheme::NoProtection, api::Scheme::GuardedCopy,
+                      api::Scheme::Mte4JniSync, api::Scheme::Mte4JniAsync),
+    [](const auto &Info) {
+      std::string Name = api::schemeName(Info.param);
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+} // namespace

@@ -1,0 +1,148 @@
+//===- rt_string_test.cpp - UTF-16 strings and UTF-8 conversion ----------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/mte/MteSystem.h"
+#include "mte4jni/rt/Heap.h"
+#include "mte4jni/rt/JavaString.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace mte4jni;
+using namespace mte4jni::rt;
+
+class RtStringTest : public ::testing::Test {
+protected:
+  void SetUp() override { mte::MteSystem::instance().reset(); }
+  void TearDown() override { mte::MteSystem::instance().reset(); }
+  JavaHeap Heap{HeapConfig{}};
+};
+
+TEST_F(RtStringTest, AsciiRoundTrip) {
+  ObjectHeader *Str = newStringUtf8(Heap, "hello world");
+  ASSERT_NE(Str, nullptr);
+  EXPECT_EQ(Str->Length, 11u);
+  std::string Out;
+  toUtf8(Str, Out);
+  EXPECT_EQ(Out, "hello world");
+  EXPECT_EQ(utf8Length(Str), 11u);
+}
+
+TEST_F(RtStringTest, TwoByteSequences) {
+  // U+00FC LATIN SMALL LETTER U WITH DIAERESIS = C3 BC
+  ObjectHeader *Str = newStringUtf8(Heap, "\xC3\xBC");
+  ASSERT_NE(Str, nullptr);
+  EXPECT_EQ(Str->Length, 1u);
+  EXPECT_EQ(stringChars(Str)[0], 0x00FC);
+  EXPECT_EQ(utf8Length(Str), 2u);
+}
+
+TEST_F(RtStringTest, ThreeByteSequences) {
+  // U+20AC EURO SIGN = E2 82 AC
+  std::u16string Units = u"€";
+  ObjectHeader *Str = newString(Heap, Units);
+  std::string Out;
+  toUtf8(Str, Out);
+  EXPECT_EQ(Out, "\xE2\x82\xAC");
+}
+
+TEST_F(RtStringTest, SurrogatePairsRoundTrip) {
+  // U+1F600 GRINNING FACE: surrogate pair D83D DE00, UTF-8 F0 9F 98 80.
+  std::u16string Units;
+  Units.push_back(0xD83D);
+  Units.push_back(0xDE00);
+  ObjectHeader *Str = newString(Heap, Units);
+  EXPECT_EQ(Str->Length, 2u);
+  EXPECT_EQ(utf8Length(Str), 4u);
+  std::string Out;
+  toUtf8(Str, Out);
+  EXPECT_EQ(Out, "\xF0\x9F\x98\x80");
+
+  // And back.
+  std::u16string Back = utf8ToUtf16(Out);
+  ASSERT_EQ(Back.size(), 2u);
+  EXPECT_EQ(Back[0], 0xD83D);
+  EXPECT_EQ(Back[1], 0xDE00);
+}
+
+TEST_F(RtStringTest, UnpairedSurrogatesBecomeReplacement) {
+  std::u16string Units;
+  Units.push_back(0xD800); // lone high surrogate
+  Units.push_back(u'x');
+  Units.push_back(0xDC00); // lone low surrogate
+  std::string Out = utf16ToUtf8(Units);
+  // U+FFFD = EF BF BD
+  EXPECT_EQ(Out, "\xEF\xBF\xBD"
+                 "x"
+                 "\xEF\xBF\xBD");
+}
+
+TEST_F(RtStringTest, InvalidUtf8BecomesReplacement) {
+  // Truncated 2-byte sequence, stray continuation, overlong encoding.
+  std::u16string A = utf8ToUtf16("\xC3");
+  ASSERT_EQ(A.size(), 1u);
+  EXPECT_EQ(A[0], 0xFFFD);
+
+  std::u16string B = utf8ToUtf16("\x80");
+  ASSERT_EQ(B.size(), 1u);
+  EXPECT_EQ(B[0], 0xFFFD);
+
+  // Overlong "A" (C1 81).
+  std::u16string C = utf8ToUtf16("\xC1\x81");
+  ASSERT_GE(C.size(), 1u);
+  EXPECT_EQ(C[0], 0xFFFD);
+}
+
+TEST_F(RtStringTest, Utf8SurrogateEncodingRejected) {
+  // CESU-style direct surrogate encoding ED A0 80 must not produce a
+  // surrogate unit.
+  std::u16string Units = utf8ToUtf16("\xED\xA0\x80");
+  for (char16_t U : Units)
+    EXPECT_TRUE(U < 0xD800 || U > 0xDFFF);
+}
+
+TEST_F(RtStringTest, EmptyString) {
+  ObjectHeader *Str = newStringUtf8(Heap, "");
+  ASSERT_NE(Str, nullptr);
+  EXPECT_EQ(Str->Length, 0u);
+  EXPECT_EQ(utf8Length(Str), 0u);
+  std::string Out;
+  toUtf8(Str, Out);
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST_F(RtStringTest, MixedContent) {
+  std::string Src = "a\xC3\xBC\xE2\x82\xAC\xF0\x9F\x98\x80z";
+  ObjectHeader *Str = newStringUtf8(Heap, Src);
+  // 1 + 1 + 1 + 2 + 1 UTF-16 units.
+  EXPECT_EQ(Str->Length, 6u);
+  std::string Out;
+  toUtf8(Str, Out);
+  EXPECT_EQ(Out, Src);
+  EXPECT_EQ(utf8Length(Str), Src.size());
+}
+
+TEST_F(RtStringTest, FourByteBoundaries) {
+  // U+10000 (lowest supplementary) and U+10FFFF (highest scalar).
+  std::u16string Lo;
+  Lo.push_back(0xD800);
+  Lo.push_back(0xDC00);
+  EXPECT_EQ(utf16ToUtf8(Lo), "\xF0\x90\x80\x80");
+
+  std::u16string Hi;
+  Hi.push_back(0xDBFF);
+  Hi.push_back(0xDFFF);
+  EXPECT_EQ(utf16ToUtf8(Hi), "\xF4\x8F\xBF\xBF");
+
+  // Out-of-range F4 90 80 80 (U+110000) is invalid.
+  std::u16string Bad = utf8ToUtf16("\xF4\x90\x80\x80");
+  ASSERT_GE(Bad.size(), 1u);
+  EXPECT_EQ(Bad[0], 0xFFFD);
+}
+
+} // namespace

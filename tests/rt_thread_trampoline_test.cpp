@@ -1,0 +1,184 @@
+//===- rt_thread_trampoline_test.cpp - Threads, transitions, trampolines -------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// §3.3/§4.3 behaviour: thread attach/detach, state transitions, and the
+// TCO toggling rules for the three native-method kinds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/mte/ThreadState.h"
+#include "mte4jni/rt/Runtime.h"
+#include "mte4jni/rt/Trampoline.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace {
+
+using namespace mte4jni;
+using namespace mte4jni::rt;
+
+RuntimeConfig mteConfig() {
+  RuntimeConfig C;
+  C.Heap.CapacityBytes = 4 << 20;
+  C.Heap.ProtMte = true;
+  C.Heap.Alignment = 16;
+  C.CheckMode = mte::CheckMode::Sync;
+  C.TagChecksInNative = true;
+  return C;
+}
+
+TEST(RtThread, AttachDetachLifecycle) {
+  RuntimeConfig C;
+  Runtime RT(C);
+  EXPECT_EQ(JavaThread::currentOrNull(), nullptr);
+  JavaThread &T = RT.attachCurrentThread("main");
+  EXPECT_EQ(JavaThread::currentOrNull(), &T);
+  EXPECT_EQ(T.name(), "main");
+  EXPECT_EQ(T.state(), JavaThreadState::Runnable);
+  RT.detachCurrentThread();
+  EXPECT_EQ(JavaThread::currentOrNull(), nullptr);
+}
+
+TEST(RtThread, MteSchemeAttachesWithTcoSet) {
+  Runtime RT(mteConfig());
+  RT.attachCurrentThread("main");
+  // Managed code must run with checks suppressed (TCO=1).
+  EXPECT_TRUE(mte::ThreadState::current().tco());
+  EXPECT_FALSE(mte::ThreadState::current().checksOn());
+  RT.detachCurrentThread();
+  EXPECT_FALSE(mte::ThreadState::current().tco());
+}
+
+TEST(RtThread, NoProtectionSchemeLeavesTcoAlone) {
+  RuntimeConfig C;
+  Runtime RT(C);
+  RT.attachCurrentThread("main");
+  EXPECT_FALSE(mte::ThreadState::current().tco());
+  RT.detachCurrentThread();
+}
+
+TEST(RtThread, RegularNativeTogglesTcoViaTransition) {
+  Runtime RT(mteConfig());
+  JavaThread &T = RT.attachCurrentThread("main");
+
+  EXPECT_TRUE(mte::ThreadState::current().tco());
+  bool CheckedInside = false;
+  callNative(T, NativeKind::Regular, "native_method", [&] {
+    EXPECT_EQ(T.state(), JavaThreadState::InNative);
+    CheckedInside = !mte::ThreadState::current().tco() &&
+                    mte::ThreadState::current().checksOn();
+    return 0;
+  });
+  EXPECT_TRUE(CheckedInside) << "checks must be live inside native code";
+  EXPECT_TRUE(mte::ThreadState::current().tco()) << "restored after return";
+  EXPECT_EQ(T.state(), JavaThreadState::Runnable);
+  RT.detachCurrentThread();
+}
+
+TEST(RtThread, FastNativeTogglesTcoWithoutTransition) {
+  Runtime RT(mteConfig());
+  JavaThread &T = RT.attachCurrentThread("main");
+  callNative(T, NativeKind::FastNative, "fast_method", [&] {
+    // @FastNative skips the state transition...
+    EXPECT_EQ(T.state(), JavaThreadState::Runnable);
+    // ...but the trampoline itself must still enable checks (§4.3).
+    EXPECT_FALSE(mte::ThreadState::current().tco());
+    return 0;
+  });
+  EXPECT_TRUE(mte::ThreadState::current().tco());
+  RT.detachCurrentThread();
+}
+
+TEST(RtThread, CriticalNativeNeverTouchesTco) {
+  Runtime RT(mteConfig());
+  JavaThread &T = RT.attachCurrentThread("main");
+  callNative(T, NativeKind::CriticalNative, "critical_method", [&] {
+    EXPECT_EQ(T.state(), JavaThreadState::Runnable);
+    // @CriticalNative cannot touch the heap; TCO stays as-is.
+    EXPECT_TRUE(mte::ThreadState::current().tco());
+    return 0;
+  });
+  RT.detachCurrentThread();
+}
+
+TEST(RtThread, NestedNativeCallsViaFastNative) {
+  Runtime RT(mteConfig());
+  JavaThread &T = RT.attachCurrentThread("main");
+  callNative(T, NativeKind::Regular, "outer", [&] {
+    EXPECT_FALSE(mte::ThreadState::current().tco());
+    // A @FastNative call from native context must restore the outer TCO.
+    callNative(T, NativeKind::FastNative, "inner", [&] {
+      EXPECT_FALSE(mte::ThreadState::current().tco());
+      return 0;
+    });
+    EXPECT_FALSE(mte::ThreadState::current().tco());
+    return 0;
+  });
+  EXPECT_TRUE(mte::ThreadState::current().tco());
+  RT.detachCurrentThread();
+}
+
+TEST(RtThread, TrampolinePushesFrames) {
+  Runtime RT(mteConfig());
+  JavaThread &T = RT.attachCurrentThread("main");
+  callNative(T, NativeKind::Regular, "my_native", [&] {
+    auto Frames = support::FrameStack::current().capture();
+    EXPECT_GE(Frames.size(), 2u);
+    if (Frames.size() >= 2) {
+      EXPECT_STREQ(Frames[0].Function, "my_native");
+      EXPECT_STREQ(Frames[1].Function, "art_quick_generic_jni_trampoline");
+    }
+    return 0;
+  });
+  EXPECT_TRUE(support::FrameStack::current().empty());
+  RT.detachCurrentThread();
+}
+
+TEST(RtThread, ReturnValuesPassThrough) {
+  RuntimeConfig C;
+  Runtime RT(C);
+  JavaThread &T = RT.attachCurrentThread("main");
+  int R = callNative(T, NativeKind::Regular, "f", [] { return 42; });
+  EXPECT_EQ(R, 42);
+  double D =
+      callNative(T, NativeKind::FastNative, "g", [] { return 1.5; });
+  EXPECT_EQ(D, 1.5);
+  RT.detachCurrentThread();
+}
+
+TEST(RtThread, MultipleThreadsAttachConcurrently) {
+  Runtime RT(mteConfig());
+  RT.attachCurrentThread("main");
+  std::vector<std::thread> Threads;
+  std::atomic<int> Ok{0};
+  for (int I = 0; I < 8; ++I) {
+    Threads.emplace_back([&RT, &Ok, I] {
+      JavaThread &Me = RT.attachCurrentThread("t" + std::to_string(I));
+      callNative(Me, NativeKind::Regular, "work", [&] {
+        if (!mte::ThreadState::current().tco())
+          ++Ok;
+        return 0;
+      });
+      RT.detachCurrentThread();
+    });
+  }
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Ok.load(), 8);
+  RT.detachCurrentThread();
+}
+
+TEST(RtThread, NativeKindNames) {
+  EXPECT_STREQ(nativeKindName(NativeKind::Regular), "regular");
+  EXPECT_STREQ(nativeKindName(NativeKind::FastNative), "@FastNative");
+  EXPECT_STREQ(nativeKindName(NativeKind::CriticalNative),
+               "@CriticalNative");
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+//===- support_math_test.cpp - MathExtras / Rng / Statistics -----------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/support/MathExtras.h"
+#include "mte4jni/support/Rng.h"
+#include "mte4jni/support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace {
+
+using namespace mte4jni::support;
+
+TEST(MathExtras, PowerOf2) {
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(2));
+  EXPECT_FALSE(isPowerOf2(3));
+  EXPECT_TRUE(isPowerOf2(1ull << 40));
+  EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(MathExtras, AlignToAndDown) {
+  EXPECT_EQ(alignTo(0, 16), 0u);
+  EXPECT_EQ(alignTo(1, 16), 16u);
+  EXPECT_EQ(alignTo(16, 16), 16u);
+  EXPECT_EQ(alignTo(17, 16), 32u);
+  EXPECT_EQ(alignDown(17, 16), 16u);
+  EXPECT_EQ(alignDown(15, 16), 0u);
+  EXPECT_TRUE(isAligned(32, 16));
+  EXPECT_FALSE(isAligned(24, 16));
+}
+
+TEST(MathExtras, Log2AndNextPow2) {
+  EXPECT_EQ(log2Of(1), 0u);
+  EXPECT_EQ(log2Of(16), 4u);
+  EXPECT_EQ(log2Of(1ull << 33), 33u);
+  EXPECT_EQ(nextPowerOf2(1), 1u);
+  EXPECT_EQ(nextPowerOf2(3), 4u);
+  EXPECT_EQ(nextPowerOf2(16), 16u);
+  EXPECT_EQ(nextPowerOf2(17), 32u);
+}
+
+TEST(MathExtras, DivideCeil) {
+  EXPECT_EQ(divideCeil(0, 16), 0u);
+  EXPECT_EQ(divideCeil(1, 16), 1u);
+  EXPECT_EQ(divideCeil(16, 16), 1u);
+  EXPECT_EQ(divideCeil(17, 16), 2u);
+}
+
+TEST(Rng, DeterministicGivenSeed) {
+  Xoshiro256 A(42), B(42), C(43);
+  for (int I = 0; I < 100; ++I) {
+    uint64_t VA = A.next();
+    EXPECT_EQ(VA, B.next());
+    (void)C.next();
+  }
+  Xoshiro256 A2(42), C2(43);
+  EXPECT_NE(A2.next(), C2.next());
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Xoshiro256 Rng(7);
+  for (uint64_t Bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(Rng.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Xoshiro256 Rng(1234);
+  std::array<int, 8> Buckets{};
+  constexpr int kDraws = 80000;
+  for (int I = 0; I < kDraws; ++I)
+    ++Buckets[Rng.nextBelow(8)];
+  for (int Count : Buckets) {
+    EXPECT_GT(Count, kDraws / 8 * 0.9);
+    EXPECT_LT(Count, kDraws / 8 * 1.1);
+  }
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Xoshiro256 Rng(5);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = Rng.nextInRange(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    SawLo |= V == -2;
+    SawHi |= V == 2;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 Rng(99);
+  for (int I = 0; I < 1000; ++I) {
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Statistics, RunningStatBasics) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_NEAR(S.stddev(), 2.138, 0.001); // sample stddev
+  EXPECT_EQ(S.min(), 2.0);
+  EXPECT_EQ(S.max(), 9.0);
+}
+
+TEST(Statistics, SampleSetPercentiles) {
+  SampleSet S;
+  for (int I = 1; I <= 100; ++I)
+    S.add(I);
+  EXPECT_DOUBLE_EQ(S.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(S.percentile(100), 100.0);
+  EXPECT_NEAR(S.median(), 50.5, 1e-9);
+  EXPECT_NEAR(S.percentile(90), 90.1, 1e-9);
+  EXPECT_DOUBLE_EQ(S.mean(), 50.5);
+}
+
+TEST(Statistics, SampleSetEdgeCases) {
+  SampleSet Empty;
+  EXPECT_EQ(Empty.percentile(50), 0.0);
+  EXPECT_EQ(Empty.mean(), 0.0);
+  SampleSet One;
+  One.add(3.5);
+  EXPECT_EQ(One.percentile(0), 3.5);
+  EXPECT_EQ(One.percentile(100), 3.5);
+}
+
+TEST(Statistics, GeometricMean) {
+  EXPECT_EQ(geometricMean({}), 0.0);
+  EXPECT_NEAR(geometricMean({4.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geometricMean({1.0, 100.0}), 10.0, 1e-9);
+  EXPECT_NEAR(geometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,80 @@
+//===- support_string_test.cpp - StringUtils -----------------------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace mte4jni::support;
+
+TEST(StringUtils, FormatBasics) {
+  EXPECT_EQ(format("hello"), "hello");
+  EXPECT_EQ(format("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(format("%s/%s", "a", "b"), "a/b");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringUtils, FormatLongOutput) {
+  std::string Long(5000, 'x');
+  EXPECT_EQ(format("%s", Long.c_str()).size(), 5000u);
+}
+
+TEST(StringUtils, Split) {
+  auto Parts = split("a,b,c", ',');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "c");
+
+  // Empty pieces preserved.
+  Parts = split(",x,", ',');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "");
+  EXPECT_EQ(Parts[1], "x");
+  EXPECT_EQ(Parts[2], "");
+
+  Parts = split("", ',');
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(Parts[0], "");
+}
+
+TEST(StringUtils, StartsWith) {
+  EXPECT_TRUE(startsWith("--paper", "--"));
+  EXPECT_FALSE(startsWith("-p", "--"));
+  EXPECT_TRUE(startsWith("abc", ""));
+  EXPECT_FALSE(startsWith("", "a"));
+}
+
+TEST(StringUtils, ParseUnsigned) {
+  uint64_t V = 0;
+  EXPECT_TRUE(parseUnsigned("0", V));
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(parseUnsigned("18446744073709551615", V));
+  EXPECT_EQ(V, UINT64_MAX);
+  EXPECT_FALSE(parseUnsigned("18446744073709551616", V)); // overflow
+  EXPECT_FALSE(parseUnsigned("", V));
+  EXPECT_FALSE(parseUnsigned("12a", V));
+  EXPECT_FALSE(parseUnsigned("-1", V));
+}
+
+TEST(StringUtils, HumanBytes) {
+  EXPECT_EQ(humanBytes(0), "0 B");
+  EXPECT_EQ(humanBytes(512), "512 B");
+  EXPECT_EQ(humanBytes(2048), "2.0 KiB");
+  EXPECT_EQ(humanBytes(3ull << 20), "3.0 MiB");
+  EXPECT_EQ(humanBytes(5ull << 30), "5.0 GiB");
+}
+
+TEST(StringUtils, HumanNanos) {
+  EXPECT_EQ(humanNanos(500), "500 ns");
+  EXPECT_EQ(humanNanos(1500), "1.50 us");
+  EXPECT_EQ(humanNanos(2.5e6), "2.50 ms");
+  EXPECT_EQ(humanNanos(3.25e9), "3.250 s");
+}
+
+} // namespace

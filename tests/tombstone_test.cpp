@@ -1,0 +1,168 @@
+//===- tombstone_test.cpp - Tombstone rendering + env hygiene -------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/api/Session.h"
+#include "mte4jni/mte/Access.h"
+#include "mte4jni/mte/MteSystem.h"
+#include "mte4jni/mte/Tombstone.h"
+#include "mte4jni/support/Logging.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace mte4jni;
+
+TEST(Tombstone, SyncFaultHasTagDumpAndAddress) {
+  api::SessionConfig C;
+  C.Protection = api::Scheme::Mte4JniSync;
+  api::Session S(C);
+  api::ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray Array = Main.env().NewIntArray(Scope, 18);
+
+  rt::callNative(Main.thread(), rt::NativeKind::Regular, "test_ofb", [&] {
+    jni::jboolean IsCopy;
+    auto P = Main.env()
+                 .GetPrimitiveArrayCritical(Array, &IsCopy)
+                 .cast<jni::jint>();
+    mte::store<jni::jint>(P + 21, 1);
+    Main.env().ReleasePrimitiveArrayCritical(Array, P.cast<void>(), 0);
+    return 0;
+  });
+
+  std::string Out;
+  ASSERT_TRUE(mte::renderLatestTombstone(Out));
+  EXPECT_NE(Out.find("SEGV_MTESERR"), std::string::npos);
+  EXPECT_NE(Out.find("Build fingerprint"), std::string::npos);
+  EXPECT_NE(Out.find("memory tags near fault address"), std::string::npos);
+  EXPECT_NE(Out.find("fault here"), std::string::npos);
+  EXPECT_NE(Out.find("test_ofb"), std::string::npos);
+}
+
+TEST(Tombstone, AsyncFaultExplainsMissingAddress) {
+  api::SessionConfig C;
+  C.Protection = api::Scheme::Mte4JniAsync;
+  api::Session S(C);
+  api::ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray Array = Main.env().NewIntArray(Scope, 18);
+
+  rt::callNative(Main.thread(), rt::NativeKind::Regular, "test_ofb", [&] {
+    jni::jboolean IsCopy;
+    auto P = Main.env()
+                 .GetPrimitiveArrayCritical(Array, &IsCopy)
+                 .cast<jni::jint>();
+    mte::store<jni::jint>(P + 21, 1);
+    mte::simulatedSyscall("getuid");
+    Main.env().ReleasePrimitiveArrayCritical(Array, P.cast<void>(), 0);
+    return 0;
+  });
+
+  std::string Out;
+  ASSERT_TRUE(mte::renderLatestTombstone(Out));
+  EXPECT_NE(Out.find("SEGV_MTEAERR"), std::string::npos);
+  EXPECT_NE(Out.find("fault addr --------"), std::string::npos);
+  EXPECT_NE(Out.find("delivered at syscall getuid"), std::string::npos);
+  EXPECT_NE(Out.find("asynchronous MTE reports carry no fault address"),
+            std::string::npos);
+}
+
+TEST(Tombstone, EmptyLogYieldsNothing) {
+  mte::MteSystem::instance().reset();
+  std::string Out;
+  EXPECT_FALSE(mte::renderLatestTombstone(Out));
+}
+
+// ---- CheckJNI extras ---------------------------------------------------------
+
+TEST(CheckJniExtras, ReleaseCriticalWithoutGetIsAnError) {
+  api::SessionConfig C;
+  api::Session S(C);
+  api::ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray Array = Main.env().NewIntArray(Scope, 8);
+
+  Main.env().ReleasePrimitiveArrayCritical(
+      Array, mte::TaggedPtr<void>::fromRaw(Array->data(), 0), 0);
+  EXPECT_TRUE(Main.env().ExceptionCheck());
+  EXPECT_NE(Main.env().exceptionMessage().find("critical"),
+            std::string::npos);
+  Main.env().ExceptionClear();
+  EXPECT_EQ(S.runtime().criticalDepth(), 0u) << "accounting untouched";
+}
+
+TEST(CheckJniExtras, LeakedUtfBufferWarnsAtEnvDestruction) {
+  support::LogBuffer::clear();
+  api::SessionConfig C;
+  api::Session S(C);
+  {
+    api::ScopedAttach Main(S, "main");
+    rt::HandleScope Scope(S.runtime());
+    jni::jstring Str = Main.env().NewStringUTF(Scope, "leak me");
+    jni::jboolean IsCopy;
+    (void)Main.env().GetStringUTFChars(Str, &IsCopy);
+    // Never released: the env destructor must complain.
+  }
+  bool SawWarning = false;
+  for (const auto &R : support::LogBuffer::snapshot())
+    if (R.Message.find("unreleased") != std::string::npos)
+      SawWarning = true;
+  EXPECT_TRUE(SawWarning);
+  support::LogBuffer::clear();
+}
+
+TEST(CheckJniExtras, LocalFramesRootAndRelease) {
+  api::SessionConfig C;
+  api::Session S(C);
+  api::ScopedAttach Main(S, "main");
+
+  EXPECT_EQ(Main.env().PushLocalFrame(16), 0);
+  jni::jarray A = Main.env().NewIntArrayLocal(32);
+  ASSERT_NE(A, nullptr);
+
+  // Rooted by the frame: survives collection.
+  S.runtime().gc().collect();
+  EXPECT_TRUE(S.runtime().heap().isLiveObject(A));
+
+  // Nested frame.
+  Main.env().PushLocalFrame(16);
+  jni::jstring Inner = Main.env().NewStringUTFLocal("inner");
+  EXPECT_EQ(Main.env().localFrameDepth(), 2u);
+  // Pop promotes the result to the outer frame.
+  Main.env().PopLocalFrame(Inner);
+  EXPECT_EQ(Main.env().localFrameDepth(), 1u);
+  S.runtime().gc().collect();
+  EXPECT_TRUE(S.runtime().heap().isLiveObject(Inner)) << "promoted";
+
+  // Popping the outer frame unroots everything.
+  Main.env().PopLocalFrame(nullptr);
+  EXPECT_EQ(Main.env().localFrameDepth(), 0u);
+  S.runtime().gc().collect();
+  EXPECT_FALSE(S.runtime().heap().isLiveObject(A));
+  EXPECT_FALSE(S.runtime().heap().isLiveObject(Inner));
+}
+
+TEST(CheckJniExtras, LocalCreationWithoutFrameIsAnError) {
+  api::SessionConfig C;
+  api::Session S(C);
+  api::ScopedAttach Main(S, "main");
+  EXPECT_EQ(Main.env().NewIntArrayLocal(8), nullptr);
+  EXPECT_TRUE(Main.env().ExceptionCheck());
+  Main.env().ExceptionClear();
+}
+
+TEST(CheckJniExtras, PopWithoutPushIsAnError) {
+  api::SessionConfig C;
+  api::Session S(C);
+  api::ScopedAttach Main(S, "main");
+  Main.env().PopLocalFrame(nullptr);
+  EXPECT_TRUE(Main.env().ExceptionCheck());
+  Main.env().ExceptionClear();
+}
+
+} // namespace

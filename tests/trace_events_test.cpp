@@ -1,0 +1,114 @@
+//===- trace_events_test.cpp - The systrace-style recorder ----------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/api/Session.h"
+#include "mte4jni/mte/Access.h"
+#include "mte4jni/support/TraceEvents.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace mte4jni;
+using support::ScopedTrace;
+using support::TraceEvent;
+using support::TraceRecorder;
+
+class TraceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    TraceRecorder::clear();
+    TraceRecorder::setEnabled(true);
+  }
+  void TearDown() override {
+    TraceRecorder::setEnabled(false);
+    TraceRecorder::clear();
+  }
+};
+
+TEST_F(TraceTest, SlicesRecordNameCategoryAndDuration) {
+  {
+    ScopedTrace Outer("outer", "test");
+    ScopedTrace Inner("inner", "test");
+  }
+  auto Events = TraceRecorder::snapshot();
+  ASSERT_EQ(Events.size(), 2u);
+  // Inner closes first.
+  EXPECT_STREQ(Events[0].Name, "inner");
+  EXPECT_STREQ(Events[1].Name, "outer");
+  EXPECT_GE(Events[1].DurationMicros, Events[0].DurationMicros);
+  EXPECT_LE(Events[1].StartMicros, Events[0].StartMicros);
+}
+
+TEST_F(TraceTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder::setEnabled(false);
+  {
+    ScopedTrace T("ignored", "test");
+  }
+  support::TraceRecorder::recordCounter("ignored", 1);
+  EXPECT_EQ(TraceRecorder::size(), 0u);
+}
+
+TEST_F(TraceTest, CountersRecorded) {
+  TraceRecorder::recordCounter("tag_table_entries", 7);
+  auto Events = TraceRecorder::snapshot();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].EventKind, TraceEvent::Kind::Counter);
+  EXPECT_EQ(Events[0].Value, 7);
+}
+
+TEST_F(TraceTest, ChromeJsonShape) {
+  {
+    ScopedTrace T("slice_a", "cat_x");
+  }
+  TraceRecorder::recordCounter("count_b", 42);
+  std::string Json = TraceRecorder::exportChromeJson();
+  EXPECT_NE(Json.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"slice_a\""), std::string::npos);
+  EXPECT_NE(Json.find("\"cat\":\"cat_x\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(Json.find("\"value\":42"), std::string::npos);
+  EXPECT_EQ(Json.back(), '}');
+}
+
+TEST_F(TraceTest, InstrumentedStackEmitsJniAndGcSlices) {
+  api::SessionConfig C;
+  C.Protection = api::Scheme::Mte4JniSync;
+  api::Session S(C);
+  api::ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray A = Main.env().NewIntArray(Scope, 64);
+
+  rt::callNative(Main.thread(), rt::NativeKind::Regular, "traced", [&] {
+    jni::jboolean IsCopy;
+    auto P = Main.env().GetIntArrayElements(A, &IsCopy);
+    Main.env().ReleaseIntArrayElements(A, P, 0);
+    return 0;
+  });
+  S.runtime().gc().collect();
+
+  bool SawGet = false, SawRelease = false, SawGc = false, SawTag = false;
+  for (const TraceEvent &E : TraceRecorder::snapshot()) {
+    SawGet |= std::string_view(E.Name) == "JNI.Get";
+    SawRelease |= std::string_view(E.Name) == "JNI.Release";
+    SawGc |= std::string_view(E.Name) == "GC.collect";
+    SawTag |= std::string_view(E.Name) == "TagAllocator.acquire";
+  }
+  EXPECT_TRUE(SawGet);
+  EXPECT_TRUE(SawRelease);
+  EXPECT_TRUE(SawGc);
+  EXPECT_TRUE(SawTag);
+}
+
+TEST_F(TraceTest, BoundedBufferNeverGrowsPastCap) {
+  for (int I = 0; I < 70000; ++I)
+    TraceRecorder::recordCounter("spam", I);
+  EXPECT_LE(TraceRecorder::size(), size_t(1) << 16);
+}
+
+} // namespace
