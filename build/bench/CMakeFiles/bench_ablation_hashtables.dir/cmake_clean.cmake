@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hashtables.dir/bench_ablation_hashtables.cpp.o"
+  "CMakeFiles/bench_ablation_hashtables.dir/bench_ablation_hashtables.cpp.o.d"
+  "bench_ablation_hashtables"
+  "bench_ablation_hashtables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hashtables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

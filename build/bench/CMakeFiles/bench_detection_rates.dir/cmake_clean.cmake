@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detection_rates.dir/bench_detection_rates.cpp.o"
+  "CMakeFiles/bench_detection_rates.dir/bench_detection_rates.cpp.o.d"
+  "bench_detection_rates"
+  "bench_detection_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detection_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

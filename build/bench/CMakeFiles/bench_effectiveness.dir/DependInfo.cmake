@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_effectiveness.cpp" "bench/CMakeFiles/bench_effectiveness.dir/bench_effectiveness.cpp.o" "gcc" "bench/CMakeFiles/bench_effectiveness.dir/bench_effectiveness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/m4j_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/m4j_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/m4j_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/guarded/CMakeFiles/m4j_guarded.dir/DependInfo.cmake"
+  "/root/repo/build/src/jni/CMakeFiles/m4j_jni.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/m4j_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mte/CMakeFiles/m4j_mte.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/m4j_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_single_core.dir/bench_fig7_single_core.cpp.o"
+  "CMakeFiles/bench_fig7_single_core.dir/bench_fig7_single_core.cpp.o.d"
+  "bench_fig7_single_core"
+  "bench_fig7_single_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_single_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

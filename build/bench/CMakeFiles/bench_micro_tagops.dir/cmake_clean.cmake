@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_tagops.dir/bench_micro_tagops.cpp.o"
+  "CMakeFiles/bench_micro_tagops.dir/bench_micro_tagops.cpp.o.d"
+  "bench_micro_tagops"
+  "bench_micro_tagops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_tagops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

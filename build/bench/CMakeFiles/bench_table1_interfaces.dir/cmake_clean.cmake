@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_interfaces.dir/bench_table1_interfaces.cpp.o"
+  "CMakeFiles/bench_table1_interfaces.dir/bench_table1_interfaces.cpp.o.d"
+  "bench_table1_interfaces"
+  "bench_table1_interfaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

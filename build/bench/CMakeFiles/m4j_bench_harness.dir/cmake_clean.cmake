@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libm4j_bench_harness.a"
+  "../lib/libm4j_bench_harness.pdb"
+  "CMakeFiles/m4j_bench_harness.dir/Harness.cpp.o"
+  "CMakeFiles/m4j_bench_harness.dir/Harness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m4j_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libm4j_bench_harness.a"
+)

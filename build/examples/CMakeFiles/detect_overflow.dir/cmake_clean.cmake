@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_overflow.dir/detect_overflow.cpp.o"
+  "CMakeFiles/detect_overflow.dir/detect_overflow.cpp.o.d"
+  "detect_overflow"
+  "detect_overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_interplay.dir/gc_interplay.cpp.o"
+  "CMakeFiles/gc_interplay.dir/gc_interplay.cpp.o.d"
+  "gc_interplay"
+  "gc_interplay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_interplay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

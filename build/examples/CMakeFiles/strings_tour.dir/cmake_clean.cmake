@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strings_tour.dir/strings_tour.cpp.o"
+  "CMakeFiles/strings_tour.dir/strings_tour.cpp.o.d"
+  "strings_tour"
+  "strings_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strings_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m4j_api.dir/Session.cpp.o"
+  "CMakeFiles/m4j_api.dir/Session.cpp.o.d"
+  "libm4j_api.a"
+  "libm4j_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m4j_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

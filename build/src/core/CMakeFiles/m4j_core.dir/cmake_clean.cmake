@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m4j_core.dir/AllocTagPolicy.cpp.o"
+  "CMakeFiles/m4j_core.dir/AllocTagPolicy.cpp.o.d"
+  "CMakeFiles/m4j_core.dir/Mte4JniPolicy.cpp.o"
+  "CMakeFiles/m4j_core.dir/Mte4JniPolicy.cpp.o.d"
+  "CMakeFiles/m4j_core.dir/TagAllocator.cpp.o"
+  "CMakeFiles/m4j_core.dir/TagAllocator.cpp.o.d"
+  "CMakeFiles/m4j_core.dir/TagTable.cpp.o"
+  "CMakeFiles/m4j_core.dir/TagTable.cpp.o.d"
+  "libm4j_core.a"
+  "libm4j_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m4j_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m4j_guarded.dir/GuardedCopy.cpp.o"
+  "CMakeFiles/m4j_guarded.dir/GuardedCopy.cpp.o.d"
+  "libm4j_guarded.a"
+  "libm4j_guarded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m4j_guarded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m4j_jni.dir/JniEnv.cpp.o"
+  "CMakeFiles/m4j_jni.dir/JniEnv.cpp.o.d"
+  "CMakeFiles/m4j_jni.dir/PolicyNone.cpp.o"
+  "CMakeFiles/m4j_jni.dir/PolicyNone.cpp.o.d"
+  "libm4j_jni.a"
+  "libm4j_jni.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m4j_jni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for m4j_jni.
+# This may be replaced when dependencies are built.

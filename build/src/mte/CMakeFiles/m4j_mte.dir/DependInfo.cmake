@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mte/Access.cpp" "src/mte/CMakeFiles/m4j_mte.dir/Access.cpp.o" "gcc" "src/mte/CMakeFiles/m4j_mte.dir/Access.cpp.o.d"
+  "/root/repo/src/mte/Fault.cpp" "src/mte/CMakeFiles/m4j_mte.dir/Fault.cpp.o" "gcc" "src/mte/CMakeFiles/m4j_mte.dir/Fault.cpp.o.d"
+  "/root/repo/src/mte/Instructions.cpp" "src/mte/CMakeFiles/m4j_mte.dir/Instructions.cpp.o" "gcc" "src/mte/CMakeFiles/m4j_mte.dir/Instructions.cpp.o.d"
+  "/root/repo/src/mte/MteSystem.cpp" "src/mte/CMakeFiles/m4j_mte.dir/MteSystem.cpp.o" "gcc" "src/mte/CMakeFiles/m4j_mte.dir/MteSystem.cpp.o.d"
+  "/root/repo/src/mte/Tag.cpp" "src/mte/CMakeFiles/m4j_mte.dir/Tag.cpp.o" "gcc" "src/mte/CMakeFiles/m4j_mte.dir/Tag.cpp.o.d"
+  "/root/repo/src/mte/TagStorage.cpp" "src/mte/CMakeFiles/m4j_mte.dir/TagStorage.cpp.o" "gcc" "src/mte/CMakeFiles/m4j_mte.dir/TagStorage.cpp.o.d"
+  "/root/repo/src/mte/TaggedArena.cpp" "src/mte/CMakeFiles/m4j_mte.dir/TaggedArena.cpp.o" "gcc" "src/mte/CMakeFiles/m4j_mte.dir/TaggedArena.cpp.o.d"
+  "/root/repo/src/mte/ThreadState.cpp" "src/mte/CMakeFiles/m4j_mte.dir/ThreadState.cpp.o" "gcc" "src/mte/CMakeFiles/m4j_mte.dir/ThreadState.cpp.o.d"
+  "/root/repo/src/mte/Tombstone.cpp" "src/mte/CMakeFiles/m4j_mte.dir/Tombstone.cpp.o" "gcc" "src/mte/CMakeFiles/m4j_mte.dir/Tombstone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/m4j_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

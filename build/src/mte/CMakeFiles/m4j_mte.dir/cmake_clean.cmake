@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m4j_mte.dir/Access.cpp.o"
+  "CMakeFiles/m4j_mte.dir/Access.cpp.o.d"
+  "CMakeFiles/m4j_mte.dir/Fault.cpp.o"
+  "CMakeFiles/m4j_mte.dir/Fault.cpp.o.d"
+  "CMakeFiles/m4j_mte.dir/Instructions.cpp.o"
+  "CMakeFiles/m4j_mte.dir/Instructions.cpp.o.d"
+  "CMakeFiles/m4j_mte.dir/MteSystem.cpp.o"
+  "CMakeFiles/m4j_mte.dir/MteSystem.cpp.o.d"
+  "CMakeFiles/m4j_mte.dir/Tag.cpp.o"
+  "CMakeFiles/m4j_mte.dir/Tag.cpp.o.d"
+  "CMakeFiles/m4j_mte.dir/TagStorage.cpp.o"
+  "CMakeFiles/m4j_mte.dir/TagStorage.cpp.o.d"
+  "CMakeFiles/m4j_mte.dir/TaggedArena.cpp.o"
+  "CMakeFiles/m4j_mte.dir/TaggedArena.cpp.o.d"
+  "CMakeFiles/m4j_mte.dir/ThreadState.cpp.o"
+  "CMakeFiles/m4j_mte.dir/ThreadState.cpp.o.d"
+  "CMakeFiles/m4j_mte.dir/Tombstone.cpp.o"
+  "CMakeFiles/m4j_mte.dir/Tombstone.cpp.o.d"
+  "libm4j_mte.a"
+  "libm4j_mte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m4j_mte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/Gc.cpp" "src/rt/CMakeFiles/m4j_rt.dir/Gc.cpp.o" "gcc" "src/rt/CMakeFiles/m4j_rt.dir/Gc.cpp.o.d"
+  "/root/repo/src/rt/Handle.cpp" "src/rt/CMakeFiles/m4j_rt.dir/Handle.cpp.o" "gcc" "src/rt/CMakeFiles/m4j_rt.dir/Handle.cpp.o.d"
+  "/root/repo/src/rt/Heap.cpp" "src/rt/CMakeFiles/m4j_rt.dir/Heap.cpp.o" "gcc" "src/rt/CMakeFiles/m4j_rt.dir/Heap.cpp.o.d"
+  "/root/repo/src/rt/JavaString.cpp" "src/rt/CMakeFiles/m4j_rt.dir/JavaString.cpp.o" "gcc" "src/rt/CMakeFiles/m4j_rt.dir/JavaString.cpp.o.d"
+  "/root/repo/src/rt/JavaThread.cpp" "src/rt/CMakeFiles/m4j_rt.dir/JavaThread.cpp.o" "gcc" "src/rt/CMakeFiles/m4j_rt.dir/JavaThread.cpp.o.d"
+  "/root/repo/src/rt/Object.cpp" "src/rt/CMakeFiles/m4j_rt.dir/Object.cpp.o" "gcc" "src/rt/CMakeFiles/m4j_rt.dir/Object.cpp.o.d"
+  "/root/repo/src/rt/Runtime.cpp" "src/rt/CMakeFiles/m4j_rt.dir/Runtime.cpp.o" "gcc" "src/rt/CMakeFiles/m4j_rt.dir/Runtime.cpp.o.d"
+  "/root/repo/src/rt/Trampoline.cpp" "src/rt/CMakeFiles/m4j_rt.dir/Trampoline.cpp.o" "gcc" "src/rt/CMakeFiles/m4j_rt.dir/Trampoline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mte/CMakeFiles/m4j_mte.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/m4j_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m4j_rt.dir/Gc.cpp.o"
+  "CMakeFiles/m4j_rt.dir/Gc.cpp.o.d"
+  "CMakeFiles/m4j_rt.dir/Handle.cpp.o"
+  "CMakeFiles/m4j_rt.dir/Handle.cpp.o.d"
+  "CMakeFiles/m4j_rt.dir/Heap.cpp.o"
+  "CMakeFiles/m4j_rt.dir/Heap.cpp.o.d"
+  "CMakeFiles/m4j_rt.dir/JavaString.cpp.o"
+  "CMakeFiles/m4j_rt.dir/JavaString.cpp.o.d"
+  "CMakeFiles/m4j_rt.dir/JavaThread.cpp.o"
+  "CMakeFiles/m4j_rt.dir/JavaThread.cpp.o.d"
+  "CMakeFiles/m4j_rt.dir/Object.cpp.o"
+  "CMakeFiles/m4j_rt.dir/Object.cpp.o.d"
+  "CMakeFiles/m4j_rt.dir/Runtime.cpp.o"
+  "CMakeFiles/m4j_rt.dir/Runtime.cpp.o.d"
+  "CMakeFiles/m4j_rt.dir/Trampoline.cpp.o"
+  "CMakeFiles/m4j_rt.dir/Trampoline.cpp.o.d"
+  "libm4j_rt.a"
+  "libm4j_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m4j_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/Backtrace.cpp" "src/support/CMakeFiles/m4j_support.dir/Backtrace.cpp.o" "gcc" "src/support/CMakeFiles/m4j_support.dir/Backtrace.cpp.o.d"
+  "/root/repo/src/support/Compiler.cpp" "src/support/CMakeFiles/m4j_support.dir/Compiler.cpp.o" "gcc" "src/support/CMakeFiles/m4j_support.dir/Compiler.cpp.o.d"
+  "/root/repo/src/support/Logging.cpp" "src/support/CMakeFiles/m4j_support.dir/Logging.cpp.o" "gcc" "src/support/CMakeFiles/m4j_support.dir/Logging.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "src/support/CMakeFiles/m4j_support.dir/Statistics.cpp.o" "gcc" "src/support/CMakeFiles/m4j_support.dir/Statistics.cpp.o.d"
+  "/root/repo/src/support/StringUtils.cpp" "src/support/CMakeFiles/m4j_support.dir/StringUtils.cpp.o" "gcc" "src/support/CMakeFiles/m4j_support.dir/StringUtils.cpp.o.d"
+  "/root/repo/src/support/Syscall.cpp" "src/support/CMakeFiles/m4j_support.dir/Syscall.cpp.o" "gcc" "src/support/CMakeFiles/m4j_support.dir/Syscall.cpp.o.d"
+  "/root/repo/src/support/ThreadPool.cpp" "src/support/CMakeFiles/m4j_support.dir/ThreadPool.cpp.o" "gcc" "src/support/CMakeFiles/m4j_support.dir/ThreadPool.cpp.o.d"
+  "/root/repo/src/support/TraceEvents.cpp" "src/support/CMakeFiles/m4j_support.dir/TraceEvents.cpp.o" "gcc" "src/support/CMakeFiles/m4j_support.dir/TraceEvents.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

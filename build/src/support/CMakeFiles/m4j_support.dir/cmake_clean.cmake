@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m4j_support.dir/Backtrace.cpp.o"
+  "CMakeFiles/m4j_support.dir/Backtrace.cpp.o.d"
+  "CMakeFiles/m4j_support.dir/Compiler.cpp.o"
+  "CMakeFiles/m4j_support.dir/Compiler.cpp.o.d"
+  "CMakeFiles/m4j_support.dir/Logging.cpp.o"
+  "CMakeFiles/m4j_support.dir/Logging.cpp.o.d"
+  "CMakeFiles/m4j_support.dir/Statistics.cpp.o"
+  "CMakeFiles/m4j_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/m4j_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/m4j_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/m4j_support.dir/Syscall.cpp.o"
+  "CMakeFiles/m4j_support.dir/Syscall.cpp.o.d"
+  "CMakeFiles/m4j_support.dir/ThreadPool.cpp.o"
+  "CMakeFiles/m4j_support.dir/ThreadPool.cpp.o.d"
+  "CMakeFiles/m4j_support.dir/TraceEvents.cpp.o"
+  "CMakeFiles/m4j_support.dir/TraceEvents.cpp.o.d"
+  "libm4j_support.a"
+  "libm4j_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m4j_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/ClangSim.cpp" "src/workloads/CMakeFiles/m4j_workloads.dir/ClangSim.cpp.o" "gcc" "src/workloads/CMakeFiles/m4j_workloads.dir/ClangSim.cpp.o.d"
+  "/root/repo/src/workloads/Compression.cpp" "src/workloads/CMakeFiles/m4j_workloads.dir/Compression.cpp.o" "gcc" "src/workloads/CMakeFiles/m4j_workloads.dir/Compression.cpp.o.d"
+  "/root/repo/src/workloads/Html5.cpp" "src/workloads/CMakeFiles/m4j_workloads.dir/Html5.cpp.o" "gcc" "src/workloads/CMakeFiles/m4j_workloads.dir/Html5.cpp.o.d"
+  "/root/repo/src/workloads/Image.cpp" "src/workloads/CMakeFiles/m4j_workloads.dir/Image.cpp.o" "gcc" "src/workloads/CMakeFiles/m4j_workloads.dir/Image.cpp.o.d"
+  "/root/repo/src/workloads/Navigation.cpp" "src/workloads/CMakeFiles/m4j_workloads.dir/Navigation.cpp.o" "gcc" "src/workloads/CMakeFiles/m4j_workloads.dir/Navigation.cpp.o.d"
+  "/root/repo/src/workloads/PdfRenderer.cpp" "src/workloads/CMakeFiles/m4j_workloads.dir/PdfRenderer.cpp.o" "gcc" "src/workloads/CMakeFiles/m4j_workloads.dir/PdfRenderer.cpp.o.d"
+  "/root/repo/src/workloads/RayTracer.cpp" "src/workloads/CMakeFiles/m4j_workloads.dir/RayTracer.cpp.o" "gcc" "src/workloads/CMakeFiles/m4j_workloads.dir/RayTracer.cpp.o.d"
+  "/root/repo/src/workloads/Registry.cpp" "src/workloads/CMakeFiles/m4j_workloads.dir/Registry.cpp.o" "gcc" "src/workloads/CMakeFiles/m4j_workloads.dir/Registry.cpp.o.d"
+  "/root/repo/src/workloads/TextProcessing.cpp" "src/workloads/CMakeFiles/m4j_workloads.dir/TextProcessing.cpp.o" "gcc" "src/workloads/CMakeFiles/m4j_workloads.dir/TextProcessing.cpp.o.d"
+  "/root/repo/src/workloads/Vision.cpp" "src/workloads/CMakeFiles/m4j_workloads.dir/Vision.cpp.o" "gcc" "src/workloads/CMakeFiles/m4j_workloads.dir/Vision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/m4j_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/m4j_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/guarded/CMakeFiles/m4j_guarded.dir/DependInfo.cmake"
+  "/root/repo/build/src/jni/CMakeFiles/m4j_jni.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/m4j_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mte/CMakeFiles/m4j_mte.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/m4j_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

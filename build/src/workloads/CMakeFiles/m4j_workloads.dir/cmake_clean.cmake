@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m4j_workloads.dir/ClangSim.cpp.o"
+  "CMakeFiles/m4j_workloads.dir/ClangSim.cpp.o.d"
+  "CMakeFiles/m4j_workloads.dir/Compression.cpp.o"
+  "CMakeFiles/m4j_workloads.dir/Compression.cpp.o.d"
+  "CMakeFiles/m4j_workloads.dir/Html5.cpp.o"
+  "CMakeFiles/m4j_workloads.dir/Html5.cpp.o.d"
+  "CMakeFiles/m4j_workloads.dir/Image.cpp.o"
+  "CMakeFiles/m4j_workloads.dir/Image.cpp.o.d"
+  "CMakeFiles/m4j_workloads.dir/Navigation.cpp.o"
+  "CMakeFiles/m4j_workloads.dir/Navigation.cpp.o.d"
+  "CMakeFiles/m4j_workloads.dir/PdfRenderer.cpp.o"
+  "CMakeFiles/m4j_workloads.dir/PdfRenderer.cpp.o.d"
+  "CMakeFiles/m4j_workloads.dir/RayTracer.cpp.o"
+  "CMakeFiles/m4j_workloads.dir/RayTracer.cpp.o.d"
+  "CMakeFiles/m4j_workloads.dir/Registry.cpp.o"
+  "CMakeFiles/m4j_workloads.dir/Registry.cpp.o.d"
+  "CMakeFiles/m4j_workloads.dir/TextProcessing.cpp.o"
+  "CMakeFiles/m4j_workloads.dir/TextProcessing.cpp.o.d"
+  "CMakeFiles/m4j_workloads.dir/Vision.cpp.o"
+  "CMakeFiles/m4j_workloads.dir/Vision.cpp.o.d"
+  "libm4j_workloads.a"
+  "libm4j_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m4j_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

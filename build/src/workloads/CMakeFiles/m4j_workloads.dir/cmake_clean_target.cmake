@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libm4j_workloads.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_tag_policy_test.dir/alloc_tag_policy_test.cpp.o"
+  "CMakeFiles/alloc_tag_policy_test.dir/alloc_tag_policy_test.cpp.o.d"
+  "alloc_tag_policy_test"
+  "alloc_tag_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_tag_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_abort_test.dir/fault_abort_test.cpp.o"
+  "CMakeFiles/fault_abort_test.dir/fault_abort_test.cpp.o.d"
+  "fault_abort_test"
+  "fault_abort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_abort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

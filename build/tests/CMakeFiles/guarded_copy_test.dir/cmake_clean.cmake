@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarded_copy_test.dir/guarded_copy_test.cpp.o"
+  "CMakeFiles/guarded_copy_test.dir/guarded_copy_test.cpp.o.d"
+  "guarded_copy_test"
+  "guarded_copy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarded_copy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

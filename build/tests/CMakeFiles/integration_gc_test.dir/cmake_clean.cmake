@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_gc_test.dir/integration_gc_test.cpp.o"
+  "CMakeFiles/integration_gc_test.dir/integration_gc_test.cpp.o.d"
+  "integration_gc_test"
+  "integration_gc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_multithread_test.dir/integration_multithread_test.cpp.o"
+  "CMakeFiles/integration_multithread_test.dir/integration_multithread_test.cpp.o.d"
+  "integration_multithread_test"
+  "integration_multithread_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_multithread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

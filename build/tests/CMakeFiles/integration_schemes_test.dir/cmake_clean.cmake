@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_schemes_test.dir/integration_schemes_test.cpp.o"
+  "CMakeFiles/integration_schemes_test.dir/integration_schemes_test.cpp.o.d"
+  "integration_schemes_test"
+  "integration_schemes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_schemes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jni_env_test.dir/jni_env_test.cpp.o"
+  "CMakeFiles/jni_env_test.dir/jni_env_test.cpp.o.d"
+  "jni_env_test"
+  "jni_env_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jni_env_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

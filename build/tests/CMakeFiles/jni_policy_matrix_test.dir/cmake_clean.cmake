@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jni_policy_matrix_test.dir/jni_policy_matrix_test.cpp.o"
+  "CMakeFiles/jni_policy_matrix_test.dir/jni_policy_matrix_test.cpp.o.d"
+  "jni_policy_matrix_test"
+  "jni_policy_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jni_policy_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

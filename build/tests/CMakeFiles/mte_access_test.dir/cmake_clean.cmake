@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mte_access_test.dir/mte_access_test.cpp.o"
+  "CMakeFiles/mte_access_test.dir/mte_access_test.cpp.o.d"
+  "mte_access_test"
+  "mte_access_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mte_access_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

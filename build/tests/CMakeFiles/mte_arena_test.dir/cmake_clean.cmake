@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mte_arena_test.dir/mte_arena_test.cpp.o"
+  "CMakeFiles/mte_arena_test.dir/mte_arena_test.cpp.o.d"
+  "mte_arena_test"
+  "mte_arena_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mte_arena_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

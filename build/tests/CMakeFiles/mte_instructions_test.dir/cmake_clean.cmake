@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mte_instructions_test.dir/mte_instructions_test.cpp.o"
+  "CMakeFiles/mte_instructions_test.dir/mte_instructions_test.cpp.o.d"
+  "mte_instructions_test"
+  "mte_instructions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mte_instructions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mte_storage_test.dir/mte_storage_test.cpp.o"
+  "CMakeFiles/mte_storage_test.dir/mte_storage_test.cpp.o.d"
+  "mte_storage_test"
+  "mte_storage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mte_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

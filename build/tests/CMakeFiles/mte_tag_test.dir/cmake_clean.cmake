@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mte_tag_test.dir/mte_tag_test.cpp.o"
+  "CMakeFiles/mte_tag_test.dir/mte_tag_test.cpp.o.d"
+  "mte_tag_test"
+  "mte_tag_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mte_tag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

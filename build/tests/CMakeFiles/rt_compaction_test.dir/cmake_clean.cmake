@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_compaction_test.dir/rt_compaction_test.cpp.o"
+  "CMakeFiles/rt_compaction_test.dir/rt_compaction_test.cpp.o.d"
+  "rt_compaction_test"
+  "rt_compaction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_compaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_gc_test.dir/rt_gc_test.cpp.o"
+  "CMakeFiles/rt_gc_test.dir/rt_gc_test.cpp.o.d"
+  "rt_gc_test"
+  "rt_gc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_heap_test.dir/rt_heap_test.cpp.o"
+  "CMakeFiles/rt_heap_test.dir/rt_heap_test.cpp.o.d"
+  "rt_heap_test"
+  "rt_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_refarray_test.dir/rt_refarray_test.cpp.o"
+  "CMakeFiles/rt_refarray_test.dir/rt_refarray_test.cpp.o.d"
+  "rt_refarray_test"
+  "rt_refarray_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_refarray_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

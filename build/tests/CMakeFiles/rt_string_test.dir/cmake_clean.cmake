@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_string_test.dir/rt_string_test.cpp.o"
+  "CMakeFiles/rt_string_test.dir/rt_string_test.cpp.o.d"
+  "rt_string_test"
+  "rt_string_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_string_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_thread_trampoline_test.dir/rt_thread_trampoline_test.cpp.o"
+  "CMakeFiles/rt_thread_trampoline_test.dir/rt_thread_trampoline_test.cpp.o.d"
+  "rt_thread_trampoline_test"
+  "rt_thread_trampoline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_thread_trampoline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

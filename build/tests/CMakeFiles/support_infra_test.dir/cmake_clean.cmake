@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_infra_test.dir/support_infra_test.cpp.o"
+  "CMakeFiles/support_infra_test.dir/support_infra_test.cpp.o.d"
+  "support_infra_test"
+  "support_infra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_infra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_string_test.dir/support_string_test.cpp.o"
+  "CMakeFiles/support_string_test.dir/support_string_test.cpp.o.d"
+  "support_string_test"
+  "support_string_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_string_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tombstone_test.dir/tombstone_test.cpp.o"
+  "CMakeFiles/tombstone_test.dir/tombstone_test.cpp.o.d"
+  "tombstone_test"
+  "tombstone_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tombstone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_events_test.dir/trace_events_test.cpp.o"
+  "CMakeFiles/trace_events_test.dir/trace_events_test.cpp.o.d"
+  "trace_events_test"
+  "trace_events_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_events_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

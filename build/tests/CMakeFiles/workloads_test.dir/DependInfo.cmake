@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/workloads_test.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/m4j_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/m4j_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/m4j_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/guarded/CMakeFiles/m4j_guarded.dir/DependInfo.cmake"
+  "/root/repo/build/src/jni/CMakeFiles/m4j_jni.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/m4j_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mte/CMakeFiles/m4j_mte.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/m4j_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
