@@ -88,16 +88,29 @@ int main(int Argc, char **Argv) {
 
   mte::TaggedArena Arena(16 << 20);
 
-  std::printf("== k sweep (two-tier locking; ops/sec, higher is better) "
-              "==\n");
+  std::printf("== table kind (k=16; ops/sec, higher is better) ==\n");
   double KSixteen = 0;
+  for (core::TagTableKind Kind :
+       {core::TagTableKind::LockFree, core::TagTableKind::TwoTierMutex,
+        core::TagTableKind::GlobalLock}) {
+    core::TagAllocatorOptions AO;
+    AO.Locks = Kind;
+    double Ops = throughput(AO, Threads, Iters, Arena);
+    if (Kind == core::TagTableKind::TwoTierMutex)
+      KSixteen = Ops;
+    std::printf("  %-10s %12.0f ops/s\n", core::tagTableKindName(Kind),
+                Ops);
+  }
+
+  std::printf("\n== k sweep (two-tier locking; ops/sec, higher is better) "
+              "==\n");
   for (unsigned K : {1u, 2u, 4u, 16u, 64u}) {
     core::TagAllocatorOptions AO;
+    AO.Locks = core::TagTableKind::TwoTierMutex;
     AO.NumTables = K;
     double Ops = throughput(AO, Threads, Iters, Arena);
-    if (K == 16)
-      KSixteen = Ops;
-    std::printf("  k = %-3u   %12.0f ops/s\n", K, Ops);
+    std::printf("  k = %-3u   %12.0f ops/s%s\n", K, Ops,
+                K == 16 ? "   (the paper's choice)" : "");
   }
 
   std::printf("\n== global lock, for reference ==\n");

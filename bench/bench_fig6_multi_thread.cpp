@@ -130,6 +130,10 @@ int main(int Argc, char **Argv) {
               Threads, Iters, kArrayInts);
 
   const SchemeUnderTest Schemes[] = {
+      {"mte4jni+sync  (lock-free)", api::Scheme::Mte4JniSync,
+       core::TagTableKind::LockFree},
+      {"mte4jni+async (lock-free)", api::Scheme::Mte4JniAsync,
+       core::TagTableKind::LockFree},
       {"mte4jni+sync  (two-tier)", api::Scheme::Mte4JniSync,
        core::LockScheme::TwoTier},
       {"mte4jni+async (two-tier)", api::Scheme::Mte4JniAsync,
@@ -150,7 +154,7 @@ int main(int Argc, char **Argv) {
     double Baseline = runTest(None, Threads, Iters, SameArray, Options.Seed);
     std::printf("  %-30s %8.3fs   1.00x (baseline)\n", None.Label, Baseline);
 
-    double TwoTier = 0, Global = 0, Guarded = 0;
+    double LockFree = 0, TwoTier = 0, Global = 0, Guarded = 0;
     for (const SchemeUnderTest &SUT : Schemes) {
       double T = runTest(SUT, Threads, Iters, SameArray, Options.Seed);
       double Ratio = T / Baseline;
@@ -158,6 +162,8 @@ int main(int Argc, char **Argv) {
                   ratioCell(Ratio).c_str());
       if (SUT.Protection == api::Scheme::GuardedCopy)
         Guarded = Ratio;
+      else if (SUT.Locks == core::TagTableKind::LockFree)
+        LockFree += Ratio / 2;
       else if (SUT.Locks == core::LockScheme::TwoTier)
         TwoTier += Ratio / 2;
       else
@@ -165,8 +171,9 @@ int main(int Argc, char **Argv) {
     }
     std::printf("  paper: two-tier 1.21x, global %sx, guarded %sx\n",
                 SameArray ? "1.39" : "2.20", SameArray ? "32.9" : "34.0");
-    std::printf("  shape checks: two-tier <= global: %s; guarded worst: "
-                "%s\n\n",
+    std::printf("  shape checks: lock-free <= two-tier: %s; two-tier <= "
+                "global: %s; guarded worst: %s\n\n",
+                LockFree <= TwoTier * 1.05 ? "yes" : "NO",
                 TwoTier <= Global * 1.05 ? "yes" : "NO",
                 Guarded > Global ? "yes" : "NO");
   }

@@ -109,10 +109,30 @@ void BM_AcquireRelease(benchmark::State &State) {
   arena().deallocate(Buf);
   State.SetBytesProcessed(int64_t(State.iterations()) * int64_t(Bytes));
 }
+BENCHMARK_TEMPLATE(BM_AcquireRelease, core::TagTableKind::LockFree)
+    ->Range(64, 16 << 10);
 BENCHMARK_TEMPLATE(BM_AcquireRelease, core::LockScheme::TwoTier)
     ->Range(64, 16 << 10);
 BENCHMARK_TEMPLATE(BM_AcquireRelease, core::LockScheme::GlobalLock)
     ->Range(64, 16 << 10);
+
+/// Lock-free round trip with the slot hint the JNI pin record caches: the
+/// acquire hands back the resolved Slot*, the release consumes it — the
+/// Get/Release pair probes the table once instead of twice.
+void BM_AcquireReleaseCachedSlot(benchmark::State &State) {
+  core::TagAllocator Alloc(core::TagTableKind::LockFree);
+  uint64_t Bytes = static_cast<uint64_t>(State.range(0));
+  void *Buf = arena().allocate(Bytes);
+  uint64_t Begin = reinterpret_cast<uint64_t>(Buf);
+  for (auto _ : State) {
+    core::TagTable::Slot *Hint = nullptr;
+    benchmark::DoNotOptimize(Alloc.acquire(Begin, Begin + Bytes, &Hint));
+    Alloc.release(Begin, Begin + Bytes, Hint);
+  }
+  arena().deallocate(Buf);
+  State.SetBytesProcessed(int64_t(State.iterations()) * int64_t(Bytes));
+}
+BENCHMARK(BM_AcquireReleaseCachedSlot)->Range(64, 16 << 10);
 
 /// Multi-threaded contention ablation: every benchmark thread hammers its
 /// OWN object — the Figure 6 "different array" scenario where the global
@@ -138,6 +158,9 @@ void BM_AcquireReleaseMT(benchmark::State &State) {
     delete Alloc;
   }
 }
+BENCHMARK_TEMPLATE(BM_AcquireReleaseMT, core::TagTableKind::LockFree)
+    ->Threads(8)
+    ->UseRealTime();
 BENCHMARK_TEMPLATE(BM_AcquireReleaseMT, core::LockScheme::TwoTier)
     ->Threads(8)
     ->UseRealTime();

@@ -60,8 +60,10 @@ const char *schemeName(Scheme S);
 struct SessionConfig {
   Scheme Protection = Scheme::NoProtection;
 
-  /// Lock scheme for the MTE4JNI tag allocator (Figure 6's ablation).
-  core::LockScheme Locks = core::LockScheme::TwoTier;
+  /// Tag-table implementation for the MTE4JNI tag allocator (Figure 6's
+  /// ablation): lock-free fast path by default; TwoTierMutex is the
+  /// paper's published locking, GlobalLock the §3.1 strawman.
+  core::TagTableKind Locks = core::TagTableKind::LockFree;
   /// k, the number of tag hash tables.
   unsigned NumHashTables = 16;
   /// Optional hardening: exclude neighbouring granules' tags in IRG so

@@ -34,7 +34,10 @@
 namespace mte4jni::core {
 
 struct Mte4JniOptions {
-  LockScheme Locks = LockScheme::TwoTier;
+  /// Tag-table implementation (lock-free fast path by default; the
+  /// paper's two-tier locking and the global-lock strawman are the
+  /// Figure 6 ablations).
+  TagTableKind Locks = TagTableKind::LockFree;
   /// k, the number of hash tables (the paper evaluates k = 16).
   unsigned NumHashTables = 16;
   /// Capacity of the PROT_MTE scratch arena for UTF-8 copies.
@@ -53,6 +56,13 @@ public:
   uint64_t acquire(const jni::JniBufferInfo &Info, bool &IsCopy) override;
   void release(const jni::JniBufferInfo &Info, uint64_t NativeBits,
                jni::jint Mode) override;
+
+  /// Pin-aware variants: the cookie carries the resolved TagTable::Slot so
+  /// the matching release skips the table probe entirely.
+  uint64_t acquirePinned(const jni::JniBufferInfo &Info, bool &IsCopy,
+                         void *&PinCookie) override;
+  void releasePinned(const jni::JniBufferInfo &Info, uint64_t NativeBits,
+                     jni::jint Mode, void *PinCookie) override;
 
   uint64_t acquireScratch(uint64_t Bytes, const char *Interface) override;
   void releaseScratch(uint64_t NativeBits, uint64_t Bytes,

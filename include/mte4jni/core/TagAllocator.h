@@ -22,8 +22,15 @@
 ///     3. under the object lock: decrement referenceNum; when it reaches
 ///        zero, clear the memory tags of [begin, end)
 ///
-/// Both a two-tier-locking implementation and the naive global-lock
-/// variant (the §3.1 strawman, measured in Figure 6) are provided.
+/// Three table implementations are selectable via TagTableKind: the
+/// lock-free fast path (production default — steps 2-4 of a repeated
+/// acquire are one CAS plus one LDG, no lock and no allocation), the
+/// paper's two-tier locking, and the naive global-lock strawman measured
+/// in Figure 6.
+///
+/// acquire() can additionally hand back the table slot it resolved, which
+/// release() accepts as a hint — a Get/Release pair through the JNI pin
+/// record then probes the table once, not twice.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,19 +45,22 @@
 
 namespace mte4jni::core {
 
-enum class LockScheme : uint8_t {
-  /// Paper's design: per-table locks + per-object locks.
-  TwoTier,
-  /// Naive strawman: one global lock around the whole operation.
-  GlobalLock,
-};
+/// Legacy name for the table-implementation knob (the seed predates the
+/// lock-free build and called this the lock scheme).
+using LockScheme = TagTableKind;
 
-const char *lockSchemeName(LockScheme Scheme);
+inline const char *lockSchemeName(TagTableKind Kind) {
+  return tagTableKindName(Kind);
+}
 
 /// Optional hardenings beyond the paper's Algorithm 1.
 struct TagAllocatorOptions {
-  LockScheme Locks = LockScheme::TwoTier;
+  TagTableKind Locks = TagTableKind::LockFree;
   unsigned NumTables = 16;
+  /// Slot-array capacity per shard for TagTableKind::LockFree (rounded up
+  /// to a power of two); entries beyond a full probe window spill into the
+  /// shard's locked overflow map.
+  unsigned SlotsPerShard = 2048;
   /// Remove dead table entries (see TagAllocator constructor notes).
   bool EraseDeadEntries = false;
   /// When generating a tag, exclude the current tags of the granules in
@@ -80,32 +90,45 @@ public:
   /// leaves the {referenceNum, mutexAddr} tuple in place for reuse, which
   /// is also faster (no allocator churn per Get/Release pair); erasure is
   /// available for callers that want the table trimmed.
-  explicit TagAllocator(LockScheme Scheme = LockScheme::TwoTier,
+  explicit TagAllocator(TagTableKind Kind = TagTableKind::LockFree,
                         unsigned NumTables = 16,
                         bool EraseDeadEntries = false);
 
   explicit TagAllocator(const TagAllocatorOptions &Options);
 
-  LockScheme lockScheme() const { return Scheme; }
+  TagTableKind lockScheme() const { return Kind; }
+  TagTableKind tableKind() const { return Kind; }
 
   /// Algorithm 1. Returns the tagged pointer bits for [Begin, End).
-  uint64_t acquire(uint64_t Begin, uint64_t End);
+  /// When \p CacheOut is non-null and the lock-free table resolved a slot,
+  /// stores it there (else null); pass it back to release() to skip the
+  /// second table probe.
+  uint64_t acquire(uint64_t Begin, uint64_t End,
+                   TagTable::Slot **CacheOut = nullptr);
 
-  /// Algorithm 2.
-  void release(uint64_t Begin, uint64_t End);
+  /// Algorithm 2. \p Hint is an optional slot from acquire(); it is
+  /// revalidated against \p Begin, so a stale hint degrades to a probe.
+  void release(uint64_t Begin, uint64_t End, TagTable::Slot *Hint = nullptr);
 
   const TagAllocatorStats &stats() const { return Stats; }
   TagTable &table() { return Table; }
 
 private:
-  uint64_t acquireLocked(uint64_t Begin, uint64_t End);
-  void releaseLocked(uint64_t Begin, uint64_t End);
+  uint64_t acquireTwoTier(uint64_t Begin, uint64_t End);
+  void releaseTwoTier(uint64_t Begin, uint64_t End);
+  uint64_t acquireLockFreeSlow(uint64_t Begin, uint64_t End,
+                               TagTable::Slot **CacheOut);
+  void releaseLockFreeSlow(uint64_t Begin, uint64_t End);
 
-  LockScheme Scheme;
+  /// The first-holder tag work: IRG (with the optional adjacent-granule
+  /// exclusion) + ST2G/STG over [Begin, End).
+  mte::TagValue generateAndApplyTag(uint64_t Begin, uint64_t End);
+
+  TagTableKind Kind;
   bool EraseDeadEntries;
   bool ExcludeAdjacentTags = false;
   TagTable Table;
-  std::mutex GlobalLock; ///< used only by LockScheme::GlobalLock
+  std::mutex GlobalMutex; ///< used only by TagTableKind::GlobalLock
   TagAllocatorStats Stats;
 };
 

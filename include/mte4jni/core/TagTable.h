@@ -1,4 +1,4 @@
-//===- TagTable.h - Two-tier locked reference-count tables -----------*- C++ -*-===//
+//===- TagTable.h - Reference-count tables for Algorithm 1/2 --------*- C++ -*-===//
 //
 // Part of the MTE4JNI reproduction project.
 // SPDX-License-Identifier: MIT
@@ -6,13 +6,47 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The paper's §3.1.2 data structure: k hash tables, each mapping an
-/// object's payload start address to a (reference count, dedicated object
-/// lock) tuple. Each table is guarded by its own *table lock*, held only
-/// long enough to fetch or create the entry; the per-object *object lock*
-/// then guards the reference count and the tag work. Distributing objects
-/// across tables by the low bits of their address (begin/16 mod k) is what
-/// keeps unrelated objects from contending (§5.3.2's second test).
+/// The paper's §3.1.2 data structure — k hash tables mapping an object's
+/// payload start address to a reference count — in three builds:
+///
+///   * TagTableKind::LockFree (default): an open-addressing array of
+///     cache-line-aligned slots per shard. Each slot packs (epoch,
+///     refcount) into one atomic state word, so the repeated-acquire path
+///     (Algorithm 1 steps 2-4 when the entry already exists) is a CAS loop
+///     with no table lock and no heap allocation. Only the 0<->1
+///     transitions — where tag memory is written — and inserts/erases take
+///     the shard mutex. Entries that overflow a probe window spill into
+///     the shard's locked map, so capacity is still unbounded.
+///   * TagTableKind::TwoTierMutex: the paper's published design. Each
+///     shard's *table lock* is held only long enough to fetch or create
+///     the entry; the per-object *object lock* then guards the reference
+///     count and the tag work.
+///   * TagTableKind::GlobalLock: the §3.1 strawman (selected one level up,
+///     in TagAllocator, which wraps the two-tier table in one mutex).
+///
+/// Distributing objects across shards by (begin/16) mod k is what keeps
+/// unrelated objects from contending (§5.3.2's second test); the lock-free
+/// build additionally keeps *related* acquires of an already-tagged object
+/// from contending on anything but the object's own cache line.
+///
+/// Lock-free invariants (the reasoning behind the memory orders):
+///
+///   * Slot keys only change under the shard mutex (insert claims an empty
+///     or tombstoned slot; erase tombstones). Fast paths only read keys.
+///   * refcount 0->1 happens under the shard mutex and only *after* the
+///     granule tags are written, published by a release store of the new
+///     state word. A fast-path acquirer that observes refcount >= 1 with
+///     an acquire load therefore always reads valid tags with LDG.
+///   * refcount 1->0 happens under the shard mutex via CAS, so a racing
+///     fast-path increment (which requires refcount >= 1) either lands
+///     before the CAS (the CAS fails and the release turns into a plain
+///     decrement) or after the slot reads 0 (the acquirer falls into the
+///     slow path and serialises on the mutex). Tags are cleared only after
+///     the CAS to zero succeeds.
+///   * The epoch half of the state word increments on every 0->1
+///     transition, so a stalled compare-exchange can never succeed across
+///     a release/re-acquire (or tombstone/reuse) of the slot — the classic
+///     ABA guard.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +56,7 @@
 #include "mte4jni/mte/Tag.h"
 #include "mte4jni/support/Compiler.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -30,7 +65,25 @@
 
 namespace mte4jni::core {
 
-/// Aggregate counters for contention analysis (ablation benches).
+/// Which reference-count table implementation an allocator uses. The
+/// Figure 6 / A1 ablations compare all three.
+enum class TagTableKind : uint8_t {
+  /// Production default: lock-free fast path, mutex slow path.
+  LockFree = 0,
+  /// The paper's published two-tier locking.
+  TwoTierMutex = 1,
+  /// The §3.1 strawman: one global mutex around the whole operation.
+  GlobalLock = 2,
+  /// Legacy spelling of TwoTierMutex (the seed called the paper's design
+  /// LockScheme::TwoTier).
+  TwoTier = TwoTierMutex,
+};
+
+const char *tagTableKindName(TagTableKind Kind);
+
+/// Aggregate counters for contention analysis (ablation benches). Under
+/// TagTableKind::LockFree only the slow paths count Lookups — the fast
+/// path deliberately writes nothing shared beyond the slot it touches.
 struct TagTableStats {
   uint64_t Lookups = 0;
   uint64_t Creates = 0;
@@ -39,6 +92,8 @@ struct TagTableStats {
 
 class TagTable {
 public:
+  // ==== locked representation (TwoTierMutex / GlobalLock / overflow) ====
+
   /// One (referenceNum, mutexAddr) tuple from Algorithm 1.
   struct Entry {
     /// Guarded by Mutex (the "object lock").
@@ -48,9 +103,45 @@ public:
 
   using EntryRef = std::shared_ptr<Entry>;
 
-  explicit TagTable(unsigned NumTables = 16);
+  // ==== lock-free representation =======================================
 
+  /// State word layout: [ epoch : 32 | refcount : 32 ].
+  static constexpr uint32_t refCountOf(uint64_t State) {
+    return static_cast<uint32_t>(State);
+  }
+  static constexpr uint32_t epochOf(uint64_t State) {
+    return static_cast<uint32_t>(State >> 32);
+  }
+  static constexpr uint64_t packState(uint32_t Epoch, uint32_t Count) {
+    return (static_cast<uint64_t>(Epoch) << 32) | Count;
+  }
+
+  /// Sentinel keys. Payload begin addresses are real granule-aligned heap
+  /// pointers, so neither value can collide with a live key; addresses
+  /// that *would* collide are routed to the overflow map.
+  static constexpr uint64_t kEmptyKey = 0;
+  static constexpr uint64_t kTombstoneKey = ~0ull;
+
+  /// One open-addressing slot, alone on its cache line so two hot objects
+  /// never false-share.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> Key{kEmptyKey};
+    std::atomic<uint64_t> State{0};
+  };
+
+  /// Linear-probe window. A key lives within this many slots of its home
+  /// position or in the overflow map.
+  static constexpr unsigned kProbeWindow = 16;
+
+  explicit TagTable(unsigned NumTables = 16,
+                    TagTableKind Kind = TagTableKind::TwoTierMutex,
+                    unsigned SlotsPerShard = 2048);
+
+  TagTableKind kind() const { return Kind; }
   unsigned numTables() const { return NumTables; }
+  unsigned slotsPerShard() const { return SlotMask ? SlotMask + 1 : 0; }
+
+  // ==== locked API (all kinds; for LockFree this is the overflow map) ====
 
   /// Algorithm 1 step 2: lock the shard's table lock, retrieve or create
   /// the entry for \p Begin, unlock. The returned shared_ptr keeps the
@@ -62,25 +153,100 @@ public:
 
   /// Erases the entry for \p Begin when its reference count is zero
   /// (called after a release dropped the count to zero). Safe against a
-  /// concurrent acquire that resurrected the entry.
+  /// concurrent acquire that resurrected the entry. Under LockFree this
+  /// tombstones the slot (or erases the overflow entry).
   void eraseIfDead(uint64_t Begin);
+
+  // ==== lock-free fast path ==============================================
+
+  /// Probes the shard's slot array for \p Begin without taking any lock.
+  /// Null when the key is absent from the array (it may still live in the
+  /// overflow map — the slow path checks under the shard mutex).
+  Slot *probeSlot(uint64_t Begin);
+
+  /// The repeated-acquire fast path: increments the refcount iff it is
+  /// already >= 1 (i.e. the object is tagged) and the slot still belongs
+  /// to \p Begin. Returns false when the caller must take the slow path
+  /// (first holder, slot recycled, or key mismatch).
+  static bool tryAcquireShared(Slot &S, uint64_t Begin) {
+    uint64_t St = S.State.load(std::memory_order_acquire);
+    for (;;) {
+      if (refCountOf(St) == 0)
+        return false;
+      if (S.Key.load(std::memory_order_relaxed) != Begin)
+        return false;
+      // The CAS compares the full (epoch, count) word: any concurrent
+      // release-to-zero or slot reuse changes it, so success proves the
+      // count stayed >= 1 for this key the whole time.
+      if (S.State.compare_exchange_weak(St, St + 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire))
+        return true;
+    }
+  }
+
+  /// The repeated-release fast path: decrements the refcount iff it is
+  /// >= 2 — dropping to zero clears tag memory and must serialise on the
+  /// shard mutex. Returns false when the caller must take the slow path.
+  static bool tryReleaseShared(Slot &S, uint64_t Begin) {
+    uint64_t St = S.State.load(std::memory_order_acquire);
+    for (;;) {
+      if (refCountOf(St) < 2)
+        return false;
+      if (S.Key.load(std::memory_order_relaxed) != Begin)
+        return false;
+      if (S.State.compare_exchange_weak(St, St - 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire))
+        return true;
+    }
+  }
+
+  // ==== lock-free slow path (caller holds the shard mutex) ===============
+
+  /// Locks the shard \p Begin hashes to.
+  std::unique_lock<std::mutex> lockShard(uint64_t Begin);
+
+  /// Finds (and with \p Create, claims) the slot for \p Begin. Requires
+  /// \p Lock to hold the shard mutex. Null when the key lives in — or,
+  /// with \p Create, must spill to — the overflow map.
+  Slot *slotLocked(uint64_t Begin, bool Create,
+                   const std::unique_lock<std::mutex> &Lock);
+
+  /// Tombstones \p S so the slot can be reused for another key. Requires
+  /// the shard mutex; only valid at refcount zero.
+  void tombstoneLocked(Slot &S, const std::unique_lock<std::mutex> &Lock);
 
   /// Shard an address belongs to: (Begin / 16) mod k, per Algorithm 1.
   unsigned shardIndexOf(uint64_t Begin) const {
     return static_cast<unsigned>((Begin >> mte::kGranuleShift) % NumTables);
   }
 
+  /// Live entries: map entries plus (under LockFree) occupied slots.
   size_t liveEntries() const;
   TagTableStats stats() const;
 
 private:
   struct Shard {
     mutable std::mutex TableLock;
+    /// TwoTierMutex/GlobalLock: every entry. LockFree: overflow only.
     std::unordered_map<uint64_t, EntryRef> Map;
     TagTableStats Stats;
+    /// LockFree only; null otherwise.
+    std::unique_ptr<Slot[]> Slots;
   };
 
+  /// Home position of \p Begin inside its shard's slot array.
+  size_t slotHomeOf(uint64_t Begin) const {
+    // Fibonacci hash of the granule index; the shard already consumed the
+    // low bits via mod k, so mix the rest.
+    uint64_t G = Begin >> mte::kGranuleShift;
+    return static_cast<size_t>((G * 0x9E3779B97F4A7C15ull) >> 17) & SlotMask;
+  }
+
+  TagTableKind Kind;
   unsigned NumTables;
+  size_t SlotMask = 0; ///< SlotsPerShard - 1 (power of two), 0 when locked
   std::vector<std::unique_ptr<Shard>> Shards;
 };
 

@@ -33,11 +33,28 @@ uint64_t Mte4JniPolicy::acquire(const jni::JniBufferInfo &Info,
 
 void Mte4JniPolicy::release(const jni::JniBufferInfo &Info,
                             uint64_t NativeBits, jni::jint Mode) {
+  releasePinned(Info, NativeBits, Mode, nullptr);
+}
+
+uint64_t Mte4JniPolicy::acquirePinned(const jni::JniBufferInfo &Info,
+                                      bool &IsCopy, void *&PinCookie) {
+  IsCopy = false;
+  TagTable::Slot *Slot = nullptr;
+  uint64_t Bits =
+      Allocator.acquire(Info.DataBegin, Info.DataBegin + Info.Bytes, &Slot);
+  PinCookie = Slot;
+  return Bits;
+}
+
+void Mte4JniPolicy::releasePinned(const jni::JniBufferInfo &Info,
+                                  uint64_t NativeBits, jni::jint Mode,
+                                  void *PinCookie) {
   // JNI_COMMIT means the caller keeps using the buffer: the tag must stay.
   if (Mode == jni::JNI_COMMIT)
     return;
   (void)NativeBits; // Algorithm 2 keys on the object's payload address
-  Allocator.release(Info.DataBegin, Info.DataBegin + Info.Bytes);
+  Allocator.release(Info.DataBegin, Info.DataBegin + Info.Bytes,
+                    static_cast<TagTable::Slot *>(PinCookie));
 }
 
 uint64_t Mte4JniPolicy::acquireScratch(uint64_t Bytes,

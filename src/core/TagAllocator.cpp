@@ -13,42 +13,116 @@
 
 namespace mte4jni::core {
 
-const char *lockSchemeName(LockScheme Scheme) {
-  switch (Scheme) {
-  case LockScheme::TwoTier:
-    return "two-tier";
-  case LockScheme::GlobalLock:
-    return "global-lock";
-  }
-  return "?";
-}
-
-TagAllocator::TagAllocator(LockScheme Scheme, unsigned NumTables,
+TagAllocator::TagAllocator(TagTableKind Kind, unsigned NumTables,
                            bool EraseDeadEntries)
-    : Scheme(Scheme), EraseDeadEntries(EraseDeadEntries),
-      Table(NumTables) {}
+    : Kind(Kind), EraseDeadEntries(EraseDeadEntries),
+      Table(NumTables, Kind) {}
 
 TagAllocator::TagAllocator(const TagAllocatorOptions &Options)
-    : Scheme(Options.Locks), EraseDeadEntries(Options.EraseDeadEntries),
+    : Kind(Options.Locks), EraseDeadEntries(Options.EraseDeadEntries),
       ExcludeAdjacentTags(Options.ExcludeAdjacentTags),
-      Table(Options.NumTables) {}
+      Table(Options.NumTables, Options.Locks, Options.SlotsPerShard) {}
 
-uint64_t TagAllocator::acquire(uint64_t Begin, uint64_t End) {
+mte::TagValue TagAllocator::generateAndApplyTag(uint64_t Begin,
+                                                uint64_t End) {
+  // First holder: generate a random tag (IRG) and apply it to every
+  // granule of [begin, end) (ST2G/STG). With the adjacent-exclusion
+  // hardening, the IRG draw additionally excludes the tags currently on
+  // the neighbouring granules, so a linear overflow into an adjacent
+  // tagged object can never alias.
+  uint16_t ExtraExclude = 0;
+  if (ExcludeAdjacentTags) {
+    // Two granules on each side: object payloads are separated by a
+    // one-granule header, so the nearest *neighbouring payload* granule
+    // is up to two granules away.
+    uint64_t EndAligned = support::alignTo(End, mte::kGranuleSize);
+    ExtraExclude = static_cast<uint16_t>(
+        (1u << mte::ldgTag(Begin - mte::kGranuleSize)) |
+        (1u << mte::ldgTag(Begin - 2 * mte::kGranuleSize)) |
+        (1u << mte::ldgTag(EndAligned)) |
+        (1u << mte::ldgTag(EndAligned + mte::kGranuleSize)));
+  }
+  mte::TagValue Tag = mte::irgTag(ExtraExclude);
+  mte::setTagRange(
+      mte::TaggedPtr<void>::fromRaw(reinterpret_cast<void *>(Begin), Tag),
+      End - Begin);
+  Stats.TagsGenerated.fetch_add(1, std::memory_order_relaxed);
+  return Tag;
+}
+
+uint64_t TagAllocator::acquire(uint64_t Begin, uint64_t End,
+                               TagTable::Slot **CacheOut) {
   Begin = mte::addressOf(Begin);
   End = mte::addressOf(End);
   M4J_ASSERT(Begin <= End, "inverted range");
-  if (Scheme == LockScheme::GlobalLock) {
-    // The naive §3.1 strawman: every JNI thread serialises here.
-    std::lock_guard<std::mutex> Guard(GlobalLock);
-    return acquireLocked(Begin, End);
-  }
-  return acquireLocked(Begin, End);
-}
-
-uint64_t TagAllocator::acquireLocked(uint64_t Begin, uint64_t End) {
   support::ScopedTrace Trace("TagAllocator.acquire", "mte4jni");
   Stats.Acquires.fetch_add(1, std::memory_order_relaxed);
+  if (CacheOut)
+    *CacheOut = nullptr;
 
+  switch (Kind) {
+  case TagTableKind::LockFree:
+    // Fast path (Algorithm 1 steps 2-4 when the entry exists and the
+    // object is already tagged): one lock-free probe, one CAS, one LDG.
+    if (TagTable::Slot *S = Table.probeSlot(Begin)) {
+      if (TagTable::tryAcquireShared(*S, Begin)) {
+        if (CacheOut)
+          *CacheOut = S;
+        Stats.TagsShared.fetch_add(1, std::memory_order_relaxed);
+        return mte::withPointerTag(Begin, mte::ldgTag(Begin));
+      }
+    }
+    return acquireLockFreeSlow(Begin, End, CacheOut);
+  case TagTableKind::GlobalLock: {
+    // The naive §3.1 strawman: every JNI thread serialises here.
+    std::lock_guard<std::mutex> Guard(GlobalMutex);
+    return acquireTwoTier(Begin, End);
+  }
+  case TagTableKind::TwoTierMutex:
+    break;
+  }
+  return acquireTwoTier(Begin, End);
+}
+
+uint64_t TagAllocator::acquireLockFreeSlow(uint64_t Begin, uint64_t End,
+                                           TagTable::Slot **CacheOut) {
+  {
+    auto Lock = Table.lockShard(Begin);
+    if (TagTable::Slot *S = Table.slotLocked(Begin, /*Create=*/true, Lock)) {
+      uint64_t St = S->State.load(std::memory_order_acquire);
+      for (;;) {
+        if (TagTable::refCountOf(St) > 0) {
+          // Raced with another holder that tagged the object between our
+          // fast-path attempt and taking the mutex: share its tag.
+          if (S->State.compare_exchange_weak(St, St + 1,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+            if (CacheOut)
+              *CacheOut = S;
+            Stats.TagsShared.fetch_add(1, std::memory_order_relaxed);
+            return mte::withPointerTag(Begin, mte::ldgTag(Begin));
+          }
+          continue;
+        }
+        // First holder. Only shard-mutex holders move a slot out of
+        // refcount zero, so the tag write below cannot race; the release
+        // store publishes the tags before any fast path can see count 1.
+        mte::TagValue Tag = generateAndApplyTag(Begin, End);
+        S->State.store(
+            TagTable::packState(TagTable::epochOf(St) + 1, 1),
+            std::memory_order_release);
+        if (CacheOut)
+          *CacheOut = S;
+        return mte::withPointerTag(Begin, Tag);
+      }
+    }
+  }
+  // Probe window exhausted: this entry lives in the shard's locked
+  // overflow map and uses the two-tier path.
+  return acquireTwoTier(Begin, End);
+}
+
+uint64_t TagAllocator::acquireTwoTier(uint64_t Begin, uint64_t End) {
   // Steps 1-2: shard by (begin/16) mod k; retrieve or create the
   // {referenceNum, mutexAddr} tuple under the table lock.
   TagTable::EntryRef Entry = Table.lookupOrCreate(Begin);
@@ -64,28 +138,7 @@ uint64_t TagAllocator::acquireLocked(uint64_t Begin, uint64_t End) {
       Tag = mte::ldgTag(Begin);
       Stats.TagsShared.fetch_add(1, std::memory_order_relaxed);
     } else {
-      // First holder: generate a random tag (IRG) and apply it to every
-      // granule of [begin, end) (ST2G/STG). With the adjacent-exclusion
-      // hardening, the IRG draw additionally excludes the tags currently
-      // on the neighbouring granules, so a linear overflow into an
-      // adjacent tagged object can never alias.
-      uint16_t ExtraExclude = 0;
-      if (ExcludeAdjacentTags) {
-        // Two granules on each side: object payloads are separated by a
-        // one-granule header, so the nearest *neighbouring payload*
-        // granule is up to two granules away.
-        uint64_t EndAligned = support::alignTo(End, mte::kGranuleSize);
-        ExtraExclude = static_cast<uint16_t>(
-            (1u << mte::ldgTag(Begin - mte::kGranuleSize)) |
-            (1u << mte::ldgTag(Begin - 2 * mte::kGranuleSize)) |
-            (1u << mte::ldgTag(EndAligned)) |
-            (1u << mte::ldgTag(EndAligned + mte::kGranuleSize)));
-      }
-      Tag = mte::irgTag(ExtraExclude);
-      mte::setTagRange(mte::TaggedPtr<void>::fromRaw(
-                           reinterpret_cast<void *>(Begin), Tag),
-                       End - Begin);
-      Stats.TagsGenerated.fetch_add(1, std::memory_order_relaxed);
+      Tag = generateAndApplyTag(Begin, End);
     }
   }
 
@@ -93,21 +146,78 @@ uint64_t TagAllocator::acquireLocked(uint64_t Begin, uint64_t End) {
   return mte::withPointerTag(Begin, Tag);
 }
 
-void TagAllocator::release(uint64_t Begin, uint64_t End) {
+void TagAllocator::release(uint64_t Begin, uint64_t End,
+                           TagTable::Slot *Hint) {
   Begin = mte::addressOf(Begin);
   End = mte::addressOf(End);
-  if (Scheme == LockScheme::GlobalLock) {
-    std::lock_guard<std::mutex> Guard(GlobalLock);
-    releaseLocked(Begin, End);
-    return;
-  }
-  releaseLocked(Begin, End);
-}
-
-void TagAllocator::releaseLocked(uint64_t Begin, uint64_t End) {
   support::ScopedTrace Trace("TagAllocator.release", "mte4jni");
   Stats.Releases.fetch_add(1, std::memory_order_relaxed);
 
+  switch (Kind) {
+  case TagTableKind::LockFree: {
+    // Fast path: not the last holder — one CAS, no lock. The hint (from
+    // acquire(), via the JNI pin record) skips even the probe; it is
+    // revalidated against Begin inside tryReleaseShared.
+    TagTable::Slot *S = Hint ? Hint : Table.probeSlot(Begin);
+    if (S && TagTable::tryReleaseShared(*S, Begin))
+      return;
+    releaseLockFreeSlow(Begin, End);
+    return;
+  }
+  case TagTableKind::GlobalLock: {
+    std::lock_guard<std::mutex> Guard(GlobalMutex);
+    releaseTwoTier(Begin, End);
+    return;
+  }
+  case TagTableKind::TwoTierMutex:
+    break;
+  }
+  releaseTwoTier(Begin, End);
+}
+
+void TagAllocator::releaseLockFreeSlow(uint64_t Begin, uint64_t End) {
+  {
+    auto Lock = Table.lockShard(Begin);
+    if (TagTable::Slot *S =
+            Table.slotLocked(Begin, /*Create=*/false, Lock)) {
+      uint64_t St = S->State.load(std::memory_order_acquire);
+      for (;;) {
+        uint32_t Count = TagTable::refCountOf(St);
+        if (Count == 0) {
+          // Already released (double release); tolerated like the paper's
+          // "nothing needs to be done" path.
+          Stats.OrphanReleases.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        if (Count > 1) {
+          // An acquirer resurrected the count between our fast-path
+          // attempt and taking the mutex: plain decrement after all.
+          if (S->State.compare_exchange_weak(St, St - 1,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire))
+            return;
+          continue;
+        }
+        // Last holder: move to zero first (a racing fast-path increment
+        // makes this CAS fail), then clear the granule tags so the tag
+        // becomes available again and dangling tagged pointers fault.
+        if (S->State.compare_exchange_weak(
+                St, TagTable::packState(TagTable::epochOf(St), 0),
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+          mte::clearTagRange(Begin, End - Begin);
+          Stats.TagsCleared.fetch_add(1, std::memory_order_relaxed);
+          if (EraseDeadEntries)
+            Table.tombstoneLocked(*S, Lock);
+          return;
+        }
+      }
+    }
+  }
+  // Not in the slot array: overflow entry or orphan release.
+  releaseTwoTier(Begin, End);
+}
+
+void TagAllocator::releaseTwoTier(uint64_t Begin, uint64_t End) {
   // Steps 1-2: find the entry; nothing to do when absent (release of an
   // object no Get interface tagged).
   TagTable::EntryRef Entry = Table.lookup(Begin);

@@ -1,4 +1,4 @@
-//===- TagTable.cpp - Two-tier locked reference-count tables ---------------------===//
+//===- TagTable.cpp - Reference-count tables for Algorithm 1/2 ---------------------===//
 //
 // Part of the MTE4JNI reproduction project.
 // SPDX-License-Identifier: MIT
@@ -7,13 +7,42 @@
 
 #include "mte4jni/core/TagTable.h"
 
+#include "mte4jni/support/MathExtras.h"
+
+#include <algorithm>
+
 namespace mte4jni::core {
 
-TagTable::TagTable(unsigned NumTables) : NumTables(NumTables) {
+const char *tagTableKindName(TagTableKind Kind) {
+  switch (Kind) {
+  case TagTableKind::LockFree:
+    return "lock-free";
+  case TagTableKind::TwoTierMutex:
+    return "two-tier";
+  case TagTableKind::GlobalLock:
+    return "global-lock";
+  }
+  return "?";
+}
+
+TagTable::TagTable(unsigned NumTables, TagTableKind Kind,
+                   unsigned SlotsPerShard)
+    : Kind(Kind), NumTables(NumTables) {
   M4J_ASSERT(NumTables > 0, "need at least one hash table");
+  if (Kind == TagTableKind::LockFree) {
+    // Power-of-two array, and never smaller than the probe window (so a
+    // window scan visits each slot at most once).
+    size_t N = support::nextPowerOf2(
+        std::max<unsigned>(SlotsPerShard, kProbeWindow));
+    SlotMask = N - 1;
+  }
   Shards.reserve(NumTables);
-  for (unsigned I = 0; I < NumTables; ++I)
-    Shards.push_back(std::make_unique<Shard>());
+  for (unsigned I = 0; I < NumTables; ++I) {
+    auto S = std::make_unique<Shard>();
+    if (Kind == TagTableKind::LockFree)
+      S->Slots = std::make_unique<Slot[]>(SlotMask + 1);
+    Shards.push_back(std::move(S));
+  }
 }
 
 TagTable::EntryRef TagTable::lookupOrCreate(uint64_t Begin) {
@@ -40,6 +69,22 @@ TagTable::EntryRef TagTable::lookup(uint64_t Begin) {
 void TagTable::eraseIfDead(uint64_t Begin) {
   Shard &S = *Shards[shardIndexOf(Begin)];
   std::lock_guard<std::mutex> TableGuard(S.TableLock);
+  if (S.Slots && Begin != kEmptyKey && Begin != kTombstoneKey) {
+    size_t Home = slotHomeOf(Begin);
+    for (unsigned I = 0; I < kProbeWindow; ++I) {
+      Slot &Candidate = S.Slots[(Home + I) & SlotMask];
+      uint64_t Key = Candidate.Key.load(std::memory_order_relaxed);
+      if (Key == kEmptyKey)
+        break;
+      if (Key != Begin)
+        continue;
+      if (refCountOf(Candidate.State.load(std::memory_order_acquire)) == 0) {
+        ++S.Stats.Erases;
+        Candidate.Key.store(kTombstoneKey, std::memory_order_release);
+      }
+      return;
+    }
+  }
   auto It = S.Map.find(Begin);
   if (It == S.Map.end())
     return;
@@ -53,11 +98,85 @@ void TagTable::eraseIfDead(uint64_t Begin) {
   }
 }
 
+TagTable::Slot *TagTable::probeSlot(uint64_t Begin) {
+  if (!SlotMask || Begin == kEmptyKey || Begin == kTombstoneKey)
+    return nullptr;
+  Shard &S = *Shards[shardIndexOf(Begin)];
+  size_t Home = slotHomeOf(Begin);
+  for (unsigned I = 0; I < kProbeWindow; ++I) {
+    Slot &Candidate = S.Slots[(Home + I) & SlotMask];
+    uint64_t Key = Candidate.Key.load(std::memory_order_acquire);
+    if (Key == Begin)
+      return &Candidate;
+    // Inserts claim the first reusable slot of the window and tombstones
+    // never revert to empty, so a key is always located before the first
+    // empty slot of its window.
+    if (Key == kEmptyKey)
+      return nullptr;
+  }
+  return nullptr;
+}
+
+std::unique_lock<std::mutex> TagTable::lockShard(uint64_t Begin) {
+  return std::unique_lock<std::mutex>(
+      Shards[shardIndexOf(Begin)]->TableLock);
+}
+
+TagTable::Slot *TagTable::slotLocked(uint64_t Begin, bool Create,
+                                     const std::unique_lock<std::mutex> &Lock) {
+  M4J_ASSERT(Lock.owns_lock(), "shard mutex not held");
+  if (!SlotMask || Begin == kEmptyKey || Begin == kTombstoneKey)
+    return nullptr;
+  Shard &S = *Shards[shardIndexOf(Begin)];
+  ++S.Stats.Lookups;
+  size_t Home = slotHomeOf(Begin);
+  Slot *Reusable = nullptr;
+  for (unsigned I = 0; I < kProbeWindow; ++I) {
+    Slot &Candidate = S.Slots[(Home + I) & SlotMask];
+    uint64_t Key = Candidate.Key.load(std::memory_order_relaxed);
+    if (Key == Begin)
+      return &Candidate;
+    if (!Reusable && (Key == kEmptyKey || Key == kTombstoneKey))
+      Reusable = &Candidate;
+    if (Key == kEmptyKey)
+      break; // keys never live past the first empty slot
+  }
+  if (!Create)
+    return nullptr;
+  // If the key already spilled to the overflow map, keep using that entry:
+  // claiming a slot now would give the same object two reference counts
+  // (and the new holder a fresh tag while map holders still use the old).
+  if (!Reusable || S.Map.find(Begin) != S.Map.end())
+    return nullptr;
+  ++S.Stats.Creates;
+  // State (and its epoch) survives from the slot's previous tenant, which
+  // is exactly what the ABA guard needs; the key is published with release
+  // so lock-free probes see a fully claimed slot.
+  Reusable->Key.store(Begin, std::memory_order_release);
+  return Reusable;
+}
+
+void TagTable::tombstoneLocked(Slot &S,
+                               const std::unique_lock<std::mutex> &Lock) {
+  M4J_ASSERT(Lock.owns_lock(), "shard mutex not held");
+  M4J_ASSERT(refCountOf(S.State.load(std::memory_order_relaxed)) == 0,
+             "tombstoning a live slot");
+  Shard &Owner = *Shards[shardIndexOf(S.Key.load(std::memory_order_relaxed))];
+  ++Owner.Stats.Erases;
+  S.Key.store(kTombstoneKey, std::memory_order_release);
+}
+
 size_t TagTable::liveEntries() const {
   size_t Total = 0;
   for (const auto &S : Shards) {
     std::lock_guard<std::mutex> Guard(S->TableLock);
     Total += S->Map.size();
+    if (S->Slots)
+      for (size_t I = 0; I <= SlotMask; ++I) {
+        uint64_t Key = S->Slots[I].Key.load(std::memory_order_relaxed);
+        if (Key != kEmptyKey && Key != kTombstoneKey)
+          ++Total;
+      }
   }
   return Total;
 }

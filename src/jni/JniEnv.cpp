@@ -85,7 +85,11 @@ uint64_t JniEnv::acquireObject(rt::ObjectHeader *Obj, const char *Interface,
   Info.Bytes = Obj->dataBytes();
   Info.Interface = Interface;
   bool Copy = false;
-  uint64_t Bits = Policy.acquire(Info, Copy);
+  void *Cookie = nullptr;
+  uint64_t Bits = Policy.acquirePinned(Info, Copy, Cookie);
+  PinRecord &Pin = Pins[Bits];
+  Pin.Cookie = Cookie;
+  ++Pin.Count;
   if (IsCopy)
     *IsCopy = Copy ? JNI_TRUE : JNI_FALSE;
   return Bits;
@@ -99,8 +103,18 @@ void JniEnv::releaseObject(rt::ObjectHeader *Obj, const char *Interface,
   Info.DataBegin = Obj->dataAddress();
   Info.Bytes = Obj->dataBytes();
   Info.Interface = Interface;
-  Policy.release(Info, Bits, Mode);
-  // JNI_COMMIT keeps the buffer alive: the caller will release again.
+  // Hand the acquire-time cookie back to the policy. A release through a
+  // different env (or of never-acquired bits) finds no record and passes
+  // null — the policy falls back to its own table lookup.
+  void *Cookie = nullptr;
+  auto Pin = Pins.find(Bits);
+  if (Pin != Pins.end()) {
+    Cookie = Pin->second.Cookie;
+    // JNI_COMMIT keeps the buffer pinned: the caller will release again.
+    if (Mode != JNI_COMMIT && --Pin->second.Count == 0)
+      Pins.erase(Pin);
+  }
+  Policy.releasePinned(Info, Bits, Mode, Cookie);
   if (Mode != JNI_COMMIT)
     Obj->unpin();
 }

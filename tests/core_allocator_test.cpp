@@ -213,12 +213,18 @@ TEST_P(TagAllocatorTest, ConcurrentDisjointObjects) {
 }
 
 INSTANTIATE_TEST_SUITE_P(LockSchemes, TagAllocatorTest,
-                         ::testing::Values(LockScheme::TwoTier,
+                         ::testing::Values(core::TagTableKind::LockFree,
+                                           LockScheme::TwoTier,
                                            LockScheme::GlobalLock),
                          [](const auto &Info) {
-                           return Info.param == LockScheme::TwoTier
-                                      ? "TwoTier"
-                                      : "GlobalLock";
+                           switch (Info.param) {
+                           case core::TagTableKind::LockFree:
+                             return "LockFree";
+                           case core::TagTableKind::TwoTierMutex:
+                             return "TwoTier";
+                           default:
+                             return "GlobalLock";
+                           }
                          });
 
 // ---- TagTable-specific behaviour -------------------------------------------

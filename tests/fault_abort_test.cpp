@@ -44,7 +44,7 @@ void triggerFatalOverflow() {
 }
 
 TEST(FaultAbortDeathTest, AbortActionKillsTheProcess) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   EXPECT_DEATH(triggerFatalOverflow(), "SEGV_MTESERR");
 }
 

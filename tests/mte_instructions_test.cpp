@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
 
 namespace {
 
