@@ -34,12 +34,22 @@ BenchOptions BenchOptions::parse(int Argc, char **Argv) {
       uint64_t V;
       if (support::parseUnsigned(Arg.substr(7), V))
         Options.Seed = V;
+    } else if (support::startsWith(Arg, "--json=")) {
+      Options.JsonPath = std::string(Arg.substr(7));
+    } else if (Arg == "--json") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "--json requires a path (try --help)\n");
+        std::exit(2);
+      }
+      Options.JsonPath = Argv[++I];
     } else if (Arg == "--help" || Arg == "-h") {
       std::printf(
           "usage: %s [--paper] [--quick] [--threads=N] [--iters=N] "
-          "[--seed=N]\n"
-          "  --paper   full paper-scale parameters (slow)\n"
-          "  --quick   smoke-test sizes\n",
+          "[--seed=N] [--json <path>]\n"
+          "  --paper        full paper-scale parameters (slow)\n"
+          "  --quick        smoke-test sizes\n"
+          "  --json <path>  write a machine-readable report (timings +\n"
+          "                 metrics snapshot) to <path>\n",
           Argv[0]);
       std::exit(0);
     } else if (support::startsWith(Arg, "--")) {
@@ -119,6 +129,51 @@ std::string ratioCell(double Ratio) {
 
 std::string percentCell(double Percent) {
   return support::format("%.1f%%", Percent);
+}
+
+void BenchReport::addRow(std::string Name, double Value, std::string Unit,
+                         uint64_t Iterations) {
+  Rows.push_back(
+      Row{std::move(Name), Value, std::move(Unit), Iterations});
+}
+
+std::string BenchReport::toJson() const {
+  std::string Out = support::format(
+      "{\n\"bench\": \"%s\",\n\"results\": [",
+      support::jsonEscape(BenchName).c_str());
+  bool First = true;
+  for (const Row &R : Rows) {
+    Out += support::format(
+        "%s\n  {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\", "
+        "\"iterations\": %llu}",
+        First ? "" : ",", support::jsonEscape(R.Name).c_str(), R.Value,
+        support::jsonEscape(R.Unit).c_str(),
+        static_cast<unsigned long long>(R.Iterations));
+    First = false;
+  }
+  Out += "\n],\n\"metrics\": ";
+  Out += support::Metrics::snapshot().toJson();
+  Out += "}\n";
+  return Out;
+}
+
+bool BenchReport::write(const std::string &Path) const {
+  std::string Json = toJson();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+  return std::fclose(F) == 0 && Written == Json.size();
+}
+
+void BenchReport::writeIfRequested(const BenchOptions &Options) const {
+  if (Options.JsonPath.empty())
+    return;
+  if (write(Options.JsonPath))
+    std::printf("wrote %s (%zu result rows + metrics snapshot)\n",
+                Options.JsonPath.c_str(), Rows.size());
+  else
+    std::fprintf(stderr, "failed to write %s\n", Options.JsonPath.c_str());
 }
 
 } // namespace mte4jni::bench

@@ -36,6 +36,9 @@ struct BenchOptions {
   unsigned Threads = 0;
   unsigned Iterations = 0;
   uint64_t Seed = 1;
+  /// When non-empty: write a machine-readable BENCH_<name>.json report
+  /// (timing rows + embedded metrics snapshot) to this path.
+  std::string JsonPath;
 
   /// Bench-specific "--name" flags that the common parser did not consume.
   std::vector<std::string> ExtraFlags;
@@ -80,6 +83,42 @@ private:
 /// "12.34x" / "98.7%" cell helpers.
 std::string ratioCell(double Ratio);
 std::string percentCell(double Percent);
+
+/// Collects named timing rows and writes the machine-readable
+/// BENCH_<name>.json document: per-row timings plus an embedded snapshot
+/// of the process-wide metrics registry, so every benchmark run leaves
+/// the counters that explain its numbers next to the numbers themselves.
+class BenchReport {
+public:
+  explicit BenchReport(std::string BenchName)
+      : BenchName(std::move(BenchName)) {}
+
+  /// One result row. \p Unit describes Value ("ns", "ns/op", "MB/s"...);
+  /// \p Iterations is 0 when not applicable.
+  void addRow(std::string Name, double Value, std::string Unit,
+              uint64_t Iterations = 0);
+
+  bool empty() const { return Rows.empty(); }
+
+  /// The report document (rows + metrics snapshot + fault ring).
+  std::string toJson() const;
+
+  /// Writes toJson() to \p Path; returns false on I/O failure.
+  bool write(const std::string &Path) const;
+
+  /// Convenience: write when Options.JsonPath is set, logging the path.
+  void writeIfRequested(const BenchOptions &Options) const;
+
+private:
+  struct Row {
+    std::string Name;
+    double Value = 0;
+    std::string Unit;
+    uint64_t Iterations = 0;
+  };
+  std::string BenchName;
+  std::vector<Row> Rows;
+};
 
 } // namespace mte4jni::bench
 

@@ -16,6 +16,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "Harness.h"
+
 #include "mte4jni/core/TagAllocator.h"
 #include "mte4jni/guarded/GuardedCopy.h"
 #include "mte4jni/mte/Access.h"
@@ -24,6 +26,9 @@
 #include "mte4jni/mte/TaggedArena.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
 
 namespace {
 
@@ -136,26 +141,25 @@ BENCHMARK(BM_AcquireReleaseCachedSlot)->Range(64, 16 << 10);
 
 /// Multi-threaded contention ablation: every benchmark thread hammers its
 /// OWN object — the Figure 6 "different array" scenario where the global
-/// lock hurts and the two-tier scheme spreads load over shards.
+/// lock hurts and the two-tier scheme spreads load over shards. Setup is
+/// a magic static (google-benchmark has no pre-loop barrier, so thread 0
+/// doing it would race the other threads' reads of Blocks).
 template <core::LockScheme Scheme>
 void BM_AcquireReleaseMT(benchmark::State &State) {
-  static core::TagAllocator *Alloc;
-  static void *Blocks[64];
-  if (State.thread_index() == 0) {
-    Alloc = new core::TagAllocator(Scheme);
-    for (int T = 0; T < State.threads(); ++T)
-      Blocks[T] = arena().allocate(4096);
-  }
+  struct Shared {
+    core::TagAllocator Alloc{Scheme};
+    void *Blocks[64];
+    Shared() {
+      for (int T = 0; T < 64; ++T)
+        Blocks[T] = arena().allocate(4096);
+    }
+  };
+  static Shared S; // intentionally leaked until process exit
   uint64_t Begin =
-      reinterpret_cast<uint64_t>(Blocks[State.thread_index()]);
+      reinterpret_cast<uint64_t>(S.Blocks[State.thread_index() & 63]);
   for (auto _ : State) {
-    benchmark::DoNotOptimize(Alloc->acquire(Begin, Begin + 4096));
-    Alloc->release(Begin, Begin + 4096);
-  }
-  if (State.thread_index() == 0) {
-    for (int T = 0; T < State.threads(); ++T)
-      arena().deallocate(Blocks[T]);
-    delete Alloc;
+    benchmark::DoNotOptimize(S.Alloc.acquire(Begin, Begin + 4096));
+    S.Alloc.release(Begin, Begin + 4096);
   }
 }
 BENCHMARK_TEMPLATE(BM_AcquireReleaseMT, core::TagTableKind::LockFree)
@@ -201,6 +205,58 @@ void BM_Mte4JniRoundTrip(benchmark::State &State) {
 }
 BENCHMARK(BM_Mte4JniRoundTrip)->Range(64, 16 << 10);
 
+/// Console output as usual, but every per-iteration run also lands in a
+/// BenchReport so --json leaves a machine-readable BENCH_micro.json.
+class ReportingConsoleReporter : public benchmark::ConsoleReporter {
+public:
+  explicit ReportingConsoleReporter(bench::BenchReport &Report)
+      : Report(Report) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      if (R.run_type == Run::RT_Aggregate || R.error_occurred)
+        continue;
+      Report.addRow(R.benchmark_name(), R.GetAdjustedRealTime(), "ns",
+                    static_cast<uint64_t>(R.iterations));
+    }
+    ConsoleReporter::ReportRuns(Runs);
+  }
+
+private:
+  bench::BenchReport &Report;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  // Peel off --json before google-benchmark sees (and rejects) it.
+  std::string JsonPath;
+  int Kept = 1;
+  for (int I = 1; I < argc; ++I) {
+    std::string_view Arg = argv[I];
+    if (Arg.rfind("--json=", 0) == 0) {
+      JsonPath = Arg.substr(7);
+    } else if (Arg == "--json" && I + 1 < argc) {
+      JsonPath = argv[++I];
+    } else {
+      argv[Kept++] = argv[I];
+    }
+  }
+  argc = Kept;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  bench::BenchReport Report("micro_tagops");
+  ReportingConsoleReporter Reporter(Report);
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  if (!JsonPath.empty()) {
+    if (Report.write(JsonPath))
+      std::printf("wrote %s\n", JsonPath.c_str());
+    else {
+      std::fprintf(stderr, "failed to write %s\n", JsonPath.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -39,6 +39,7 @@
 #include "mte4jni/jni/PolicyNone.h"
 #include "mte4jni/rt/Runtime.h"
 #include "mte4jni/rt/Trampoline.h"
+#include "mte4jni/support/Metrics.h"
 
 #include <memory>
 #include <string>
@@ -118,6 +119,16 @@ public:
   /// Human-readable end-of-run summary: heap, GC, MTE-instruction and
   /// policy statistics. Handy at the end of examples and benchmarks.
   std::string statsReport() const;
+
+  /// Point-in-time aggregation of the process-wide metrics registry
+  /// (tag checks, table fast/slow paths, JNI pins, GC phases, fault ring).
+  /// Process-wide, not per-session: concurrent sessions share the registry.
+  support::MetricsSnapshot metricsSnapshot() const;
+
+  /// Writes metricsSnapshot().toJson() to \p Path. Returns false (and
+  /// leaves no partial file behind on open failure) when the file cannot
+  /// be written.
+  bool writeMetricsJson(const std::string &Path) const;
 
 private:
   SessionConfig Config;

@@ -43,6 +43,10 @@
 #include <atomic>
 #include <mutex>
 
+namespace mte4jni::support {
+class Counter;
+} // namespace mte4jni::support
+
 namespace mte4jni::core {
 
 /// Legacy name for the table-implementation knob (the seed predates the
@@ -130,6 +134,14 @@ private:
   TagTable Table;
   std::mutex GlobalMutex; ///< used only by TagTableKind::GlobalLock
   TagAllocatorStats Stats;
+
+  /// Registry counters for the lock-free fast paths, resolved once at
+  /// construction so the hot path pays exactly one sharded relaxed add —
+  /// no name lookup, no function-local-static guard. Aggregate metrics
+  /// ("core/tagallocator/acquires" etc.) are derived from the per-path
+  /// counters at snapshot time and cost nothing here.
+  support::Counter &FastAcquireMetric;
+  support::Counter &FastReleaseMetric;
 };
 
 } // namespace mte4jni::core

@@ -55,6 +55,11 @@ public:
   static std::vector<TraceEvent> snapshot();
   static size_t size();
 
+  /// Events discarded because the bounded buffer was full. Reset by
+  /// clear(). Also mirrored to the "support/trace/dropped_events" metric
+  /// so exports surface silent truncation.
+  static uint64_t dropped();
+
   /// Records a completed slice (used by ScopedTrace).
   static void recordSlice(const char *Name, const char *Category,
                           uint64_t StartMicros, uint64_t DurationMicros);

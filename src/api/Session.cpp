@@ -11,6 +11,8 @@
 #include "mte4jni/mte/MteSystem.h"
 #include "mte4jni/support/StringUtils.h"
 
+#include <cstdio>
+
 namespace mte4jni::api {
 
 const char *schemeName(Scheme S) {
@@ -154,6 +156,25 @@ std::string Session::statsReport() const {
       static_cast<unsigned long long>(
           mte::MteSystem::instance().faultLog().totalCount()));
   return Out;
+}
+
+support::MetricsSnapshot Session::metricsSnapshot() const {
+  // The registry itself keeps the GC heap-occupancy gauge fresh only at
+  // cycle boundaries; refresh it here so a snapshot taken between cycles
+  // (or with the background GC off) still reflects the current heap.
+  support::Metrics::gauge("rt/heap/bytes_live")
+      .set(static_cast<int64_t>(Runtime->heap().stats().BytesLive));
+  return support::Metrics::snapshot();
+}
+
+bool Session::writeMetricsJson(const std::string &Path) const {
+  std::string Json = metricsSnapshot().toJson();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+  bool Ok = std::fclose(F) == 0 && Written == Json.size();
+  return Ok;
 }
 
 } // namespace mte4jni::api

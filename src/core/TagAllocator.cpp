@@ -9,19 +9,106 @@
 
 #include "mte4jni/mte/Instructions.h"
 #include "mte4jni/support/MathExtras.h"
+#include "mte4jni/support/Metrics.h"
 #include "mte4jni/support/TraceEvents.h"
 
 namespace mte4jni::core {
 
+namespace {
+
+/// Where Algorithm 1/2 operations actually land, per scheme: the lock-free
+/// CAS fast path vs the shard-mutex slow path vs the overflow (spill-map)
+/// fallback.
+///
+/// Cost discipline: the lock-free fast paths pay exactly ONE sharded
+/// relaxed add each (via the Counter references TagAllocator caches at
+/// construction); everything here is touched only from paths that already
+/// take a mutex or CAS-retry. The aggregate metrics the exporters show
+/// ("core/tagallocator/acquires", "releases", "tags_shared") are derived
+/// counters: computed at snapshot time from the per-path counters, so the
+/// hot paths never bump them.
+struct AllocMetrics {
+  support::Counter &TagsGenerated =
+      support::Metrics::counter("core/tagallocator/tags_generated");
+  /// Slow-path shares only (lock-free raced-CAS resurrect + two-tier
+  /// refcount > 1). Fast-path shares == acquire_fast by construction, so
+  /// total tags_shared is derived as acquire_fast + tags_shared_slow.
+  support::Counter &TagsSharedSlow =
+      support::Metrics::counter("core/tagallocator/tags_shared_slow");
+  support::Counter &TagsCleared =
+      support::Metrics::counter("core/tagallocator/tags_cleared");
+  support::Counter &OrphanReleases =
+      support::Metrics::counter("core/tagallocator/orphan_releases");
+
+  support::Counter &LfAcquireSlow =
+      support::Metrics::counter("core/tagtable/lockfree/acquire_slow");
+  support::Counter &LfReleaseSlow =
+      support::Metrics::counter("core/tagtable/lockfree/release_slow");
+  support::Counter &LfOverflowSpills =
+      support::Metrics::counter("core/tagtable/lockfree/overflow_spills");
+
+  support::Counter &TwoTierAcquires =
+      support::Metrics::counter("core/tagtable/twotier/acquires");
+  support::Counter &TwoTierReleases =
+      support::Metrics::counter("core/tagtable/twotier/releases");
+  support::Counter &GlobalAcquires =
+      support::Metrics::counter("core/tagtable/globallock/acquires");
+  support::Counter &GlobalReleases =
+      support::Metrics::counter("core/tagtable/globallock/releases");
+
+  AllocMetrics() {
+    using support::Metrics;
+    Metrics::registerDerived("core/tagallocator/acquires", +[] {
+      return Metrics::counter("core/tagtable/lockfree/acquire_fast")
+                 .value() +
+             Metrics::counter("core/tagtable/lockfree/acquire_slow")
+                 .value() +
+             Metrics::counter("core/tagtable/twotier/acquires").value() +
+             Metrics::counter("core/tagtable/globallock/acquires").value();
+    });
+    Metrics::registerDerived("core/tagallocator/releases", +[] {
+      return Metrics::counter("core/tagtable/lockfree/release_fast")
+                 .value() +
+             Metrics::counter("core/tagtable/lockfree/release_slow")
+                 .value() +
+             Metrics::counter("core/tagtable/twotier/releases").value() +
+             Metrics::counter("core/tagtable/globallock/releases").value();
+    });
+    Metrics::registerDerived("core/tagallocator/tags_shared", +[] {
+      return Metrics::counter("core/tagtable/lockfree/acquire_fast")
+                 .value() +
+             Metrics::counter("core/tagallocator/tags_shared_slow").value();
+    });
+  }
+};
+
+AllocMetrics &allocMetrics() {
+  static AllocMetrics M;
+  return M;
+}
+
+} // namespace
+
 TagAllocator::TagAllocator(TagTableKind Kind, unsigned NumTables,
                            bool EraseDeadEntries)
-    : Kind(Kind), EraseDeadEntries(EraseDeadEntries),
-      Table(NumTables, Kind) {}
+    : Kind(Kind), EraseDeadEntries(EraseDeadEntries), Table(NumTables, Kind),
+      FastAcquireMetric(
+          support::Metrics::counter("core/tagtable/lockfree/acquire_fast")),
+      FastReleaseMetric(
+          support::Metrics::counter("core/tagtable/lockfree/release_fast")) {
+  (void)allocMetrics(); // register the derived aggregates
+}
 
 TagAllocator::TagAllocator(const TagAllocatorOptions &Options)
     : Kind(Options.Locks), EraseDeadEntries(Options.EraseDeadEntries),
       ExcludeAdjacentTags(Options.ExcludeAdjacentTags),
-      Table(Options.NumTables, Options.Locks, Options.SlotsPerShard) {}
+      Table(Options.NumTables, Options.Locks, Options.SlotsPerShard),
+      FastAcquireMetric(
+          support::Metrics::counter("core/tagtable/lockfree/acquire_fast")),
+      FastReleaseMetric(
+          support::Metrics::counter("core/tagtable/lockfree/release_fast")) {
+  (void)allocMetrics(); // register the derived aggregates
+}
 
 mte::TagValue TagAllocator::generateAndApplyTag(uint64_t Begin,
                                                 uint64_t End) {
@@ -47,6 +134,7 @@ mte::TagValue TagAllocator::generateAndApplyTag(uint64_t Begin,
       mte::TaggedPtr<void>::fromRaw(reinterpret_cast<void *>(Begin), Tag),
       End - Begin);
   Stats.TagsGenerated.fetch_add(1, std::memory_order_relaxed);
+  allocMetrics().TagsGenerated.add();
   return Tag;
 }
 
@@ -69,18 +157,22 @@ uint64_t TagAllocator::acquire(uint64_t Begin, uint64_t End,
         if (CacheOut)
           *CacheOut = S;
         Stats.TagsShared.fetch_add(1, std::memory_order_relaxed);
+        FastAcquireMetric.add();
         return mte::withPointerTag(Begin, mte::ldgTag(Begin));
       }
     }
+    allocMetrics().LfAcquireSlow.add();
     return acquireLockFreeSlow(Begin, End, CacheOut);
   case TagTableKind::GlobalLock: {
     // The naive §3.1 strawman: every JNI thread serialises here.
+    allocMetrics().GlobalAcquires.add();
     std::lock_guard<std::mutex> Guard(GlobalMutex);
     return acquireTwoTier(Begin, End);
   }
   case TagTableKind::TwoTierMutex:
     break;
   }
+  allocMetrics().TwoTierAcquires.add();
   return acquireTwoTier(Begin, End);
 }
 
@@ -100,6 +192,7 @@ uint64_t TagAllocator::acquireLockFreeSlow(uint64_t Begin, uint64_t End,
             if (CacheOut)
               *CacheOut = S;
             Stats.TagsShared.fetch_add(1, std::memory_order_relaxed);
+            allocMetrics().TagsSharedSlow.add();
             return mte::withPointerTag(Begin, mte::ldgTag(Begin));
           }
           continue;
@@ -119,6 +212,7 @@ uint64_t TagAllocator::acquireLockFreeSlow(uint64_t Begin, uint64_t End,
   }
   // Probe window exhausted: this entry lives in the shard's locked
   // overflow map and uses the two-tier path.
+  allocMetrics().LfOverflowSpills.add();
   return acquireTwoTier(Begin, End);
 }
 
@@ -137,6 +231,7 @@ uint64_t TagAllocator::acquireTwoTier(uint64_t Begin, uint64_t End) {
       // by loading it back with LDG.
       Tag = mte::ldgTag(Begin);
       Stats.TagsShared.fetch_add(1, std::memory_order_relaxed);
+      allocMetrics().TagsSharedSlow.add();
     } else {
       Tag = generateAndApplyTag(Begin, End);
     }
@@ -159,12 +254,16 @@ void TagAllocator::release(uint64_t Begin, uint64_t End,
     // acquire(), via the JNI pin record) skips even the probe; it is
     // revalidated against Begin inside tryReleaseShared.
     TagTable::Slot *S = Hint ? Hint : Table.probeSlot(Begin);
-    if (S && TagTable::tryReleaseShared(*S, Begin))
+    if (S && TagTable::tryReleaseShared(*S, Begin)) {
+      FastReleaseMetric.add();
       return;
+    }
+    allocMetrics().LfReleaseSlow.add();
     releaseLockFreeSlow(Begin, End);
     return;
   }
   case TagTableKind::GlobalLock: {
+    allocMetrics().GlobalReleases.add();
     std::lock_guard<std::mutex> Guard(GlobalMutex);
     releaseTwoTier(Begin, End);
     return;
@@ -172,6 +271,7 @@ void TagAllocator::release(uint64_t Begin, uint64_t End,
   case TagTableKind::TwoTierMutex:
     break;
   }
+  allocMetrics().TwoTierReleases.add();
   releaseTwoTier(Begin, End);
 }
 
@@ -187,6 +287,7 @@ void TagAllocator::releaseLockFreeSlow(uint64_t Begin, uint64_t End) {
           // Already released (double release); tolerated like the paper's
           // "nothing needs to be done" path.
           Stats.OrphanReleases.fetch_add(1, std::memory_order_relaxed);
+          allocMetrics().OrphanReleases.add();
           return;
         }
         if (Count > 1) {
@@ -206,6 +307,7 @@ void TagAllocator::releaseLockFreeSlow(uint64_t Begin, uint64_t End) {
                 std::memory_order_acq_rel, std::memory_order_acquire)) {
           mte::clearTagRange(Begin, End - Begin);
           Stats.TagsCleared.fetch_add(1, std::memory_order_relaxed);
+          allocMetrics().TagsCleared.add();
           if (EraseDeadEntries)
             Table.tombstoneLocked(*S, Lock);
           return;
@@ -214,6 +316,7 @@ void TagAllocator::releaseLockFreeSlow(uint64_t Begin, uint64_t End) {
     }
   }
   // Not in the slot array: overflow entry or orphan release.
+  allocMetrics().LfOverflowSpills.add();
   releaseTwoTier(Begin, End);
 }
 
@@ -223,6 +326,7 @@ void TagAllocator::releaseTwoTier(uint64_t Begin, uint64_t End) {
   TagTable::EntryRef Entry = Table.lookup(Begin);
   if (!Entry) {
     Stats.OrphanReleases.fetch_add(1, std::memory_order_relaxed);
+    allocMetrics().OrphanReleases.add();
     return;
   }
 
@@ -235,12 +339,14 @@ void TagAllocator::releaseTwoTier(uint64_t Begin, uint64_t End) {
       // Already released (double release); tolerated like the paper's
       // "nothing needs to be done" path.
       Stats.OrphanReleases.fetch_add(1, std::memory_order_relaxed);
+      allocMetrics().OrphanReleases.add();
       return;
     }
     --Entry->RefCount;
     if (Entry->RefCount == 0) {
       mte::clearTagRange(Begin, End - Begin);
       Stats.TagsCleared.fetch_add(1, std::memory_order_relaxed);
+      allocMetrics().TagsCleared.add();
       ClearedToZero = true;
     }
   }

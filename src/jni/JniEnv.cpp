@@ -10,12 +10,37 @@
 #include "mte4jni/mte/MteSystem.h"
 #include "mte4jni/mte/ThreadState.h"
 #include "mte4jni/support/Logging.h"
+#include "mte4jni/support/Metrics.h"
 #include "mte4jni/support/StringUtils.h"
 #include "mte4jni/support/TraceEvents.h"
 
 #include <cstring>
 
 namespace mte4jni::jni {
+
+namespace {
+
+/// The per-interface traffic Table 1 of the paper prices out: how many
+/// Get/Release pairs and critical sections ran, how badly this env's pin
+/// table ever stacked up, and how many CheckJNI errors were raised.
+struct JniMetrics {
+  support::Counter &GetCalls = support::Metrics::counter("jni/get_calls");
+  support::Counter &ReleaseCalls =
+      support::Metrics::counter("jni/release_calls");
+  support::Counter &CriticalEnters =
+      support::Metrics::counter("jni/critical_enters");
+  support::Counter &CheckErrors =
+      support::Metrics::counter("jni/check_errors");
+  support::Gauge &PinDepthHwm =
+      support::Metrics::gauge("jni/pin_depth_hwm");
+};
+
+JniMetrics &jniMetrics() {
+  static JniMetrics M;
+  return M;
+}
+
+} // namespace
 
 JniEnv::~JniEnv() {
   // CheckJNI-style leak detection: native code that never released its
@@ -65,6 +90,7 @@ void JniEnv::raiseError(const char *Interface, std::string Message) {
   PendingError = true;
   ErrorMessage = support::format("%s: %s", Interface, Message.c_str());
 
+  jniMetrics().CheckErrors.add();
   mte::FaultRecord Record;
   Record.Kind = mte::FaultKind::JniCheckError;
   Record.Description = ErrorMessage;
@@ -90,6 +116,9 @@ uint64_t JniEnv::acquireObject(rt::ObjectHeader *Obj, const char *Interface,
   PinRecord &Pin = Pins[Bits];
   Pin.Cookie = Cookie;
   ++Pin.Count;
+  JniMetrics &JM = jniMetrics();
+  JM.GetCalls.add();
+  JM.PinDepthHwm.updateMax(static_cast<int64_t>(Pins.size()));
   if (IsCopy)
     *IsCopy = Copy ? JNI_TRUE : JNI_FALSE;
   return Bits;
@@ -98,6 +127,7 @@ uint64_t JniEnv::acquireObject(rt::ObjectHeader *Obj, const char *Interface,
 void JniEnv::releaseObject(rt::ObjectHeader *Obj, const char *Interface,
                            uint64_t Bits, jint Mode) {
   support::ScopedTrace Trace("JNI.Release", "jni");
+  jniMetrics().ReleaseCalls.add();
   JniBufferInfo Info;
   Info.Obj = Obj;
   Info.DataBegin = Obj->dataAddress();
@@ -133,6 +163,7 @@ mte::TaggedPtr<void> JniEnv::GetPrimitiveArrayCritical(jarray Array,
     return mte::TaggedPtr<void>();
   }
   RT.enterCritical();
+  jniMetrics().CriticalEnters.add();
   return mte::TaggedPtr<void>::fromBits(
       acquireObject(Array, "GetPrimitiveArrayCritical", IsCopy));
 }
@@ -162,6 +193,7 @@ mte::TaggedPtr<const jchar> JniEnv::GetStringCritical(jstring Str,
   if (!checkString(Str, "GetStringCritical"))
     return mte::TaggedPtr<const jchar>();
   RT.enterCritical();
+  jniMetrics().CriticalEnters.add();
   return mte::TaggedPtr<const jchar>::fromBits(
       acquireObject(Str, "GetStringCritical", IsCopy));
 }

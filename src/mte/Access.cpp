@@ -8,6 +8,7 @@
 #include "mte4jni/mte/Access.h"
 
 #include "mte4jni/mte/MteSystem.h"
+#include "mte4jni/support/Metrics.h"
 #include "mte4jni/support/Syscall.h"
 
 #include <algorithm>
@@ -18,15 +19,38 @@ namespace detail {
 
 namespace {
 
+/// Per-path metrics behind the paper's Figure 5/8 breakdowns: how many
+/// accesses actually reached the tag check, how many granules those
+/// checks covered, and how mismatches split across TCF modes.
+struct AccessMetrics {
+  support::Counter &CheckedLoads =
+      support::Metrics::counter("mte/access/checked_loads");
+  support::Counter &CheckedStores =
+      support::Metrics::counter("mte/access/checked_stores");
+  support::Counter &CheckedGranules =
+      support::Metrics::counter("mte/access/checked_granules");
+  support::Counter &MismatchSync =
+      support::Metrics::counter("mte/access/mismatch_sync");
+  support::Counter &MismatchAsync =
+      support::Metrics::counter("mte/access/mismatch_async");
+};
+
+AccessMetrics &accessMetrics() {
+  static AccessMetrics M;
+  return M;
+}
+
 /// Builds and routes a mismatch according to the thread's TCF mode.
 M4J_NOINLINE void reportMismatch(ThreadState &TS, uint64_t Address,
                                  TagValue PointerTag, TagValue MemoryTag,
                                  uint32_t Size, bool IsWrite) {
   MteSystem &System = MteSystem::instance();
   if (TS.checkMode() == CheckMode::Async) {
+    accessMetrics().MismatchAsync.add();
     TS.latchAsyncFault(Address, PointerTag, MemoryTag, IsWrite, Size);
     return;
   }
+  accessMetrics().MismatchSync.add();
   TS.noteMismatch();
   System.stats().SyncFaults.fetch_add(1, std::memory_order_relaxed);
   FaultRecord Record;
@@ -60,7 +84,11 @@ void checkAccessSlow(ThreadState &TS, uint64_t Bits, uint32_t Size,
   // granule it touches.
   uint64_t First = support::alignDown(Address, kGranuleSize);
   uint64_t Last = support::alignDown(Address + Size - 1, kGranuleSize);
-  TS.noteChecks(((Last - First) >> kGranuleShift) + 1);
+  uint64_t Granules = ((Last - First) >> kGranuleShift) + 1;
+  TS.noteChecks(Granules);
+  AccessMetrics &AM = accessMetrics();
+  (IsWrite ? AM.CheckedStores : AM.CheckedLoads).add();
+  AM.CheckedGranules.add(Granules);
   for (uint64_t Granule = First; Granule <= Last; Granule += kGranuleSize) {
     TagValue MemoryTag = Region->contains(Granule)
                              ? Region->tagAt(Granule)
@@ -101,6 +129,9 @@ M4J_ALWAYS_INLINE void checkRange(uint64_t Bits, uint64_t Bytes,
   uint64_t Last = granuleIndex(support::alignDown(LastAddr, kGranuleSize),
                                Region->begin());
   TS.noteChecks(Last - First + 1);
+  detail::AccessMetrics &AM = detail::accessMetrics();
+  (IsWrite ? AM.CheckedStores : AM.CheckedLoads).add();
+  AM.CheckedGranules.add(Last - First + 1);
   uint64_t Bad = Region->findMismatch(First, Last, PointerTag);
   if (M4J_LIKELY(Bad == UINT64_MAX)) {
     // Bytes past the region's end (if any) are unchecked, like non-MTE

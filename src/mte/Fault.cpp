@@ -7,11 +7,37 @@
 
 #include "mte4jni/mte/Fault.h"
 
+#include "mte4jni/support/Metrics.h"
 #include "mte4jni/support/StringUtils.h"
 
 #include <mutex>
 
 namespace mte4jni::mte {
+
+namespace {
+
+/// Flattens a FaultRecord into the telemetry ring's layering-neutral shape.
+support::FaultEvent toFaultEvent(const FaultRecord &Record) {
+  support::FaultEvent Event;
+  Event.Kind = faultKindName(Record.Kind);
+  Event.HasAddress = Record.HasAddress;
+  Event.Address = Record.Address;
+  Event.PointerTag = Record.PointerTag;
+  Event.MemoryTag = Record.MemoryTag;
+  Event.IsWrite = Record.IsWrite;
+  Event.AccessSize = Record.AccessSize;
+  Event.ThreadId = Record.ThreadId;
+  std::string Trace;
+  for (const support::FrameInfo &Frame : Record.Backtrace) {
+    if (!Trace.empty())
+      Trace += " <- ";
+    Trace += Frame.Function;
+  }
+  Event.Backtrace = std::move(Trace);
+  return Event;
+}
+
+} // namespace
 
 const char *faultKindName(FaultKind Kind) {
   switch (Kind) {
@@ -49,6 +75,10 @@ std::string FaultRecord::str() const {
 }
 
 void FaultLog::append(FaultRecord Record) {
+  // Every detected violation — sync, async-delivered, guarded-copy, JNI
+  // check — flows through here, so this is where the process-wide fault
+  // telemetry ring is fed.
+  support::Metrics::faultRing().record(toFaultEvent(Record));
   std::lock_guard<support::SpinLock> Guard(Lock);
   ++Total;
   ++Counts[static_cast<size_t>(Record.Kind)];

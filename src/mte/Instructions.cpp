@@ -9,10 +9,51 @@
 
 #include "mte4jni/mte/MteSystem.h"
 #include "mte4jni/mte/ThreadState.h"
+#include "mte4jni/support/Metrics.h"
 
 #include <bit>
 
 namespace mte4jni::mte {
+
+namespace {
+
+/// Simulated-instruction retire counts — the raw tag-op volume behind the
+/// paper's tag-maintenance overhead numbers. IRG/LDG/STG-granule volume is
+/// already counted by the (pre-existing) MteStats atomics on these paths,
+/// so those registry entries are derived counters mirroring MteStats at
+/// snapshot time — zero added cost per retired instruction. Only the
+/// discrete stg/st2g entry points (cold; bulk tagging uses setTagRange)
+/// carry direct counters.
+struct InstrMetrics {
+  support::Counter &Stg = support::Metrics::counter("mte/instr/stg");
+  support::Counter &St2g = support::Metrics::counter("mte/instr/st2g");
+
+  InstrMetrics() {
+    support::Metrics::registerDerived("mte/instr/irg", +[] {
+      return MteSystem::instance().stats().IrgCount.load(
+          std::memory_order_relaxed);
+    });
+    support::Metrics::registerDerived("mte/instr/ldg", +[] {
+      return MteSystem::instance().stats().LdgCount.load(
+          std::memory_order_relaxed);
+    });
+    support::Metrics::registerDerived("mte/instr/stg_granules", +[] {
+      return MteSystem::instance().stats().StgGranules.load(
+          std::memory_order_relaxed);
+    });
+  }
+};
+
+InstrMetrics &instrMetrics() {
+  static InstrMetrics M;
+  return M;
+}
+
+/// Registered at load time so snapshots taken before any stg/st2g call
+/// still include the derived instruction counters.
+const bool InstrMetricsRegistered = (instrMetrics(), true);
+
+} // namespace
 
 TagValue irgTag(uint16_t ExtraExclude) {
   MteSystem &System = MteSystem::instance();
@@ -68,9 +109,15 @@ void storeTags(uint64_t Addr, uint64_t Granules, TagValue Tag) {
 
 } // namespace
 
-void stg(TaggedPtr<void> Ptr) { storeTags(Ptr.address(), 1, Ptr.tag()); }
+void stg(TaggedPtr<void> Ptr) {
+  instrMetrics().Stg.add();
+  storeTags(Ptr.address(), 1, Ptr.tag());
+}
 
-void st2g(TaggedPtr<void> Ptr) { storeTags(Ptr.address(), 2, Ptr.tag()); }
+void st2g(TaggedPtr<void> Ptr) {
+  instrMetrics().St2g.add();
+  storeTags(Ptr.address(), 2, Ptr.tag());
+}
 
 void setTagRange(TaggedPtr<void> Ptr, uint64_t Bytes) {
   if (Bytes == 0)

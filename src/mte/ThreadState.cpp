@@ -9,6 +9,7 @@
 
 #include "mte4jni/mte/MteSystem.h"
 #include "mte4jni/support/Backtrace.h"
+#include "mte4jni/support/Metrics.h"
 
 #include <atomic>
 
@@ -76,6 +77,9 @@ void ThreadState::drainAsync(const char *SyscallName) {
 
   MteSystem::instance().stats().AsyncFaultsDelivered.fetch_add(
       1, std::memory_order_relaxed);
+  static support::Counter &Delivered =
+      support::Metrics::counter("mte/fault/async_delivered");
+  Delivered.add();
   MteSystem::instance().deliverFault(std::move(Record));
 }
 

@@ -8,6 +8,7 @@
 #include "mte4jni/mte/Tombstone.h"
 
 #include "mte4jni/mte/MteSystem.h"
+#include "mte4jni/support/Metrics.h"
 #include "mte4jni/support/StringUtils.h"
 
 namespace mte4jni::mte {
@@ -96,6 +97,35 @@ std::string renderTombstone(const FaultRecord &Record,
 
   Out += support::renderBacktrace(Record.Backtrace);
   appendTagDump(Out, Record, Options);
+
+  // Recent-fault telemetry: debuggerd prints only the crashing fault, but
+  // the ring often shows the run-up (e.g. async mismatches latched before
+  // the sync fault that finally aborted).
+  std::vector<support::FaultEvent> Recent =
+      support::Metrics::faultRing().snapshot();
+  if (Recent.size() > 1) {
+    Out += support::format(
+        "recent MTE faults (%llu total, last %zu shown):\n",
+        static_cast<unsigned long long>(
+            support::Metrics::faultRing().totalRecorded()),
+        Recent.size());
+    for (const support::FaultEvent &E : Recent) {
+      if (E.HasAddress)
+        Out += support::format(
+            "    #%llu %s addr 0x%016llx ptr tag %u mem tag %u (%s, %u "
+            "bytes) tid %llu\n",
+            static_cast<unsigned long long>(E.Sequence), E.Kind.c_str(),
+            static_cast<unsigned long long>(E.Address),
+            unsigned(E.PointerTag), unsigned(E.MemoryTag),
+            E.IsWrite ? "write" : "read", E.AccessSize,
+            static_cast<unsigned long long>(E.ThreadId));
+      else
+        Out += support::format(
+            "    #%llu %s addr -------- tid %llu\n",
+            static_cast<unsigned long long>(E.Sequence), E.Kind.c_str(),
+            static_cast<unsigned long long>(E.ThreadId));
+    }
+  }
   Out += "*** *** *** *** *** *** *** *** *** *** *** *** *** *** *** "
          "***\n";
   return Out;

@@ -11,6 +11,7 @@
 #include "mte4jni/mte/ThreadState.h"
 #include "mte4jni/rt/Runtime.h"
 #include "mte4jni/support/Backtrace.h"
+#include "mte4jni/support/Metrics.h"
 #include "mte4jni/support/Syscall.h"
 #include "mte4jni/support/TraceEvents.h"
 
@@ -19,6 +20,38 @@
 #include <vector>
 
 namespace mte4jni::rt {
+
+namespace {
+
+/// Pause-time composition: where the stop-the-world window actually goes
+/// (mark vs sweep vs compact vs the §3.3 verify pass), plus reclaim volume
+/// and a live-bytes gauge sampled at the end of each cycle.
+struct GcMetrics {
+  support::Counter &Cycles = support::Metrics::counter("rt/gc/cycles");
+  support::Counter &BytesFreed =
+      support::Metrics::counter("rt/gc/bytes_freed");
+  support::Counter &ObjectsFreed =
+      support::Metrics::counter("rt/gc/objects_freed");
+  support::Histogram &CollectNanos =
+      support::Metrics::histogram("rt/gc/collect_nanos");
+  support::Histogram &MarkNanos =
+      support::Metrics::histogram("rt/gc/mark_nanos");
+  support::Histogram &SweepNanos =
+      support::Metrics::histogram("rt/gc/sweep_nanos");
+  support::Histogram &CompactNanos =
+      support::Metrics::histogram("rt/gc/compact_nanos");
+  support::Histogram &VerifyNanos =
+      support::Metrics::histogram("rt/gc/verify_nanos");
+  support::Gauge &HeapBytesLive =
+      support::Metrics::gauge("rt/heap/bytes_live");
+};
+
+GcMetrics &gcMetrics() {
+  static GcMetrics M;
+  return M;
+}
+
+} // namespace
 
 GcController::GcController(Runtime &RT, const GcConfig &Config)
     : RT(RT), Config(Config) {}
@@ -71,10 +104,13 @@ GcResult GcController::collect() {
   // sets SuppressTagChecks=false to reproduce the spurious faults).
   mte::ScopedTco TcoForGc(Config.SuppressTagChecks);
   support::ScopedTrace Trace("GC.collect", "gc");
+  GcMetrics &GM = gcMetrics();
+  support::ScopedLatency CollectLatency(GM.CollectNanos);
   RT.beginPause();
 
   // Mark phase: everything TRANSITIVELY reachable from handle-scope
   // roots; reference arrays are traced through their slots.
+  uint64_t MarkStart = support::monotonicNanos();
   std::vector<ObjectHeader *> Roots = RT.snapshotRoots();
   RT.heap().forEachObject([&](ObjectHeader *Obj) {
     Obj->setMarked(false);
@@ -95,7 +131,10 @@ GcResult GcController::collect() {
     }
   }
 
+  GM.MarkNanos.record(support::monotonicNanos() - MarkStart);
+
   // Sweep phase: free unmarked, unpinned objects.
+  uint64_t SweepStart = support::monotonicNanos();
   std::vector<ObjectHeader *> Dead;
   RT.heap().forEachObject([&](ObjectHeader *Obj) {
     if (!Obj->isMarked() && Obj->pinCount() == 0)
@@ -106,10 +145,12 @@ GcResult GcController::collect() {
     RT.heap().free(Obj);
     ++Result.ObjectsFreed;
   }
+  GM.SweepNanos.record(support::monotonicNanos() - SweepStart);
 
   // Compaction phase (mark-compact mode): slide survivors toward the
   // heap base; JNI-pinned objects stay in place. Roots are rewritten.
   if (Config.Mode == GcMode::Compacting) {
+    support::ScopedLatency CompactLatency(GM.CompactNanos);
     auto Moved = RT.heap().compact();
     Result.ObjectsMoved = Moved.size();
     RT.updateRootsAfterMove(Moved);
@@ -138,6 +179,7 @@ GcResult GcController::collect() {
 
   // Optional verification pass (reads payloads with untagged pointers).
   if (Config.VerifyObjectBodies) {
+    support::ScopedLatency VerifyLatency(GM.VerifyNanos);
     Result.ObjectsVerified = 0;
     Result.PayloadBytesVerified = 0;
     verifyPass(Result);
@@ -145,6 +187,10 @@ GcResult GcController::collect() {
 
   RT.endPause();
   Cycles.fetch_add(1, std::memory_order_relaxed);
+  GM.Cycles.add();
+  GM.BytesFreed.add(Result.BytesFreed);
+  GM.ObjectsFreed.add(Result.ObjectsFreed);
+  GM.HeapBytesLive.set(static_cast<int64_t>(RT.heap().stats().BytesLive));
   return Result;
 }
 

@@ -7,6 +7,7 @@
 
 #include "mte4jni/support/TraceEvents.h"
 
+#include "mte4jni/support/Metrics.h"
 #include "mte4jni/support/SpinLock.h"
 #include "mte4jni/support/StringUtils.h"
 #include "mte4jni/support/Timer.h"
@@ -42,6 +43,9 @@ void append(TraceEvent Event) {
   std::lock_guard<SpinLock> Guard(S.Lock);
   if (S.Events.size() >= kMaxEvents) {
     ++S.Dropped;
+    static Counter &DroppedMetric =
+        Metrics::counter("support/trace/dropped_events");
+    DroppedMetric.add();
     return;
   }
   S.Events.push_back(Event);
@@ -74,6 +78,12 @@ size_t TraceRecorder::size() {
   return S.Events.size();
 }
 
+uint64_t TraceRecorder::dropped() {
+  TraceState &S = state();
+  std::lock_guard<SpinLock> Guard(S.Lock);
+  return S.Dropped;
+}
+
 void TraceRecorder::recordSlice(const char *Name, const char *Category,
                                 uint64_t StartMicros,
                                 uint64_t DurationMicros) {
@@ -102,6 +112,7 @@ void TraceRecorder::recordCounter(const char *Name, int64_t Value) {
 
 std::string TraceRecorder::exportChromeJson() {
   std::vector<TraceEvent> Events = snapshot();
+  uint64_t DroppedEvents = dropped();
   std::string Out = "{\"traceEvents\":[";
   bool First = true;
   for (const TraceEvent &E : Events) {
@@ -125,7 +136,10 @@ std::string TraceRecorder::exportChromeJson() {
                     static_cast<long long>(E.Value));
     }
   }
-  Out += "]}";
+  // Chrome's trace format tolerates extra top-level keys; Perfetto shows
+  // "metadata" in the info dialog, so truncation is visible to the viewer.
+  Out += format("],\"metadata\":{\"droppedEvents\":%llu}}",
+                static_cast<unsigned long long>(DroppedEvents));
   return Out;
 }
 

@@ -8,6 +8,11 @@
 #include "mte4jni/api/Session.h"
 #include "mte4jni/mte/Access.h"
 #include "mte4jni/mte/MteSystem.h"
+#include "mte4jni/support/Metrics.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -120,6 +125,113 @@ TEST(Session, GuardedStatsReport) {
             std::string::npos)
       << Report;
   EXPECT_NE(Report.find("0 corruptions"), std::string::npos);
+}
+
+TEST(Session, MetricsSnapshotCoversTheInstrumentedStack) {
+  support::Metrics::resetAll();
+  api::SessionConfig C;
+  C.Protection = Scheme::Mte4JniSync;
+  api::Session S(C);
+  {
+    api::ScopedAttach Main(S, "main");
+    rt::HandleScope Scope(S.runtime());
+    jni::jarray A = Main.env().NewIntArray(Scope, 256);
+    rt::callNative(Main.thread(), rt::NativeKind::Regular, "work", [&] {
+      jni::jboolean IsCopy;
+      auto P = Main.env().GetIntArrayElements(A, &IsCopy);
+      for (int I = 0; I < 256; ++I)
+        mte::store<jni::jint>(P + I, I);
+      Main.env().ReleaseIntArrayElements(A, P, 0);
+      return 0;
+    });
+    S.runtime().gc().collect();
+  }
+
+  support::MetricsSnapshot Snap = S.metricsSnapshot();
+  // The four subsystems the acceptance criteria name: tag checks,
+  // TagTable fast path, JNI pins, GC phases.
+  EXPECT_GT(Snap.counterValue("mte/access/checked_stores"), 0u);
+  EXPECT_GT(Snap.counterValue("mte/access/checked_granules"), 0u);
+  EXPECT_GT(Snap.counterValue("core/tagallocator/acquires"), 0u);
+  EXPECT_GT(Snap.counterValue("core/tagallocator/tags_generated"), 0u);
+  EXPECT_GT(Snap.counterValue("jni/get_calls"), 0u);
+  EXPECT_GT(Snap.counterValue("jni/release_calls"), 0u);
+  EXPECT_GE(Snap.gaugeValue("jni/pin_depth_hwm"), 1);
+  EXPECT_GT(Snap.counterValue("rt/gc/cycles"), 0u);
+  EXPECT_GT(Snap.counterValue("mte/instr/irg"), 0u);
+  EXPECT_GT(Snap.counterValue("mte/instr/stg_granules"), 0u);
+  const support::HistogramSample *Collect =
+      Snap.histogram("rt/gc/collect_nanos");
+  ASSERT_NE(Collect, nullptr);
+  EXPECT_GT(Collect->Count, 0u);
+  const support::HistogramSample *Mark = Snap.histogram("rt/gc/mark_nanos");
+  ASSERT_NE(Mark, nullptr);
+  EXPECT_GT(Mark->Count, 0u);
+  // No faults in a clean run.
+  EXPECT_EQ(Snap.counterValue("mte/access/mismatch_sync"), 0u);
+}
+
+TEST(Session, WriteMetricsJsonProducesAFileWithNonZeroMetrics) {
+  support::Metrics::resetAll();
+  api::Session S({.Protection = Scheme::Mte4JniSync});
+  {
+    api::ScopedAttach Main(S, "main");
+    rt::HandleScope Scope(S.runtime());
+    jni::jarray A = Main.env().NewIntArray(Scope, 64);
+    rt::callNative(Main.thread(), rt::NativeKind::Regular, "work", [&] {
+      jni::jboolean IsCopy;
+      auto P = Main.env().GetIntArrayElements(A, &IsCopy);
+      mte::store<jni::jint>(P + 0, 7);
+      Main.env().ReleaseIntArrayElements(A, P, 0);
+      return 0;
+    });
+    S.runtime().gc().collect();
+  }
+
+  const char *Path = "session_metrics_test.json";
+  ASSERT_TRUE(S.writeMetricsJson(Path));
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Json = Buf.str();
+  In.close();
+  std::remove(Path);
+
+  EXPECT_EQ(Json.front(), '{');
+  EXPECT_NE(Json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(Json.find("\"mte/access/checked_stores\""), std::string::npos);
+  EXPECT_NE(Json.find("\"jni/get_calls\": 1"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"rt/gc/cycles\": 1"), std::string::npos) << Json;
+  // Nothing reported zero-Get: the snapshot reflects the run above.
+  EXPECT_EQ(Json.find("\"jni/get_calls\": 0"), std::string::npos);
+}
+
+TEST(Session, FaultTelemetryReachesTheMetricsRing) {
+  support::Metrics::resetAll();
+  api::Session S({.Protection = Scheme::Mte4JniSync});
+  api::ScopedAttach Main(S, "main");
+  rt::HandleScope Scope(S.runtime());
+  jni::jarray A = Main.env().NewIntArray(Scope, 18);
+  rt::callNative(Main.thread(), rt::NativeKind::Regular, "bug", [&] {
+    jni::jboolean IsCopy;
+    auto P = Main.env().GetIntArrayElements(A, &IsCopy);
+    mte::store<jni::jint>(P + 21, 1); // out of bounds -> sync fault
+    Main.env().ReleaseIntArrayElements(A, P, 0);
+    return 0;
+  });
+  ASSERT_EQ(S.faults().totalCount(), 1u);
+
+  support::MetricsSnapshot Snap = S.metricsSnapshot();
+  EXPECT_EQ(Snap.counterValue("mte/access/mismatch_sync"), 1u);
+  ASSERT_EQ(Snap.FaultsTotal, 1u);
+  ASSERT_EQ(Snap.Faults.size(), 1u);
+  const support::FaultEvent &E = Snap.Faults[0];
+  EXPECT_NE(E.Kind.find("SEGV_MTESERR"), std::string::npos);
+  EXPECT_TRUE(E.HasAddress);
+  EXPECT_TRUE(E.IsWrite);
+  EXPECT_NE(E.PointerTag, E.MemoryTag);
+  EXPECT_FALSE(E.Backtrace.empty());
 }
 
 TEST(Session, MakeEnvGivesIndependentEnvs) {

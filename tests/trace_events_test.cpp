@@ -7,6 +7,7 @@
 
 #include "mte4jni/api/Session.h"
 #include "mte4jni/mte/Access.h"
+#include "mte4jni/support/Metrics.h"
 #include "mte4jni/support/TraceEvents.h"
 
 #include <gtest/gtest.h>
@@ -109,6 +110,29 @@ TEST_F(TraceTest, BoundedBufferNeverGrowsPastCap) {
   for (int I = 0; I < 70000; ++I)
     TraceRecorder::recordCounter("spam", I);
   EXPECT_LE(TraceRecorder::size(), size_t(1) << 16);
+}
+
+TEST_F(TraceTest, DroppedEventsAreCountedAndExported) {
+  EXPECT_EQ(TraceRecorder::dropped(), 0u);
+  constexpr size_t kCap = size_t(1) << 16;
+  constexpr size_t kOverfill = kCap + 123;
+  for (size_t I = 0; I < kOverfill; ++I)
+    TraceRecorder::recordCounter("spam", static_cast<int64_t>(I));
+  EXPECT_EQ(TraceRecorder::size(), kCap);
+  EXPECT_EQ(TraceRecorder::dropped(), kOverfill - kCap);
+
+  // Exported trace carries the drop count so viewers see truncation.
+  std::string Json = TraceRecorder::exportChromeJson();
+  EXPECT_NE(Json.find("\"droppedEvents\":123"), std::string::npos) << Json;
+
+  // Mirrored into the metrics registry for snapshot()/exporters.
+  EXPECT_GE(support::Metrics::snapshot().counterValue(
+                "support/trace/dropped_events"),
+            kOverfill - kCap);
+
+  // clear() resets the drop counter along with the buffer.
+  TraceRecorder::clear();
+  EXPECT_EQ(TraceRecorder::dropped(), 0u);
 }
 
 } // namespace
