@@ -100,6 +100,77 @@ void BM_LoadCheckedSync(benchmark::State &State) {
 }
 BENCHMARK(BM_LoadCheckedSync);
 
+/// Check-path ablation rows (DESIGN.md §7 cost model). BM_LoadCheckedSync
+/// above is the cache-HIT scalar row: every access lands in the thread's
+/// cached region, so the header-inlined fast path serves it without
+/// touching the region list. This row forces a MISS on every access by
+/// alternating between two PROT_MTE regions: each check pins a snapshot,
+/// walks the list, and refills the cache the other region then invalidates.
+void BM_LoadCheckedCacheMiss(benchmark::State &State) {
+  static mte::TaggedArena SecondArena(1ull << 20);
+  mte::MteSystem::instance().setProcessCheckMode(mte::CheckMode::Sync);
+  mte::ThreadState::current().setTco(false);
+  auto *BufA = static_cast<int32_t *>(arena().allocate(4096));
+  auto *BufB = static_cast<int32_t *>(SecondArena.allocate(4096));
+  auto PA = mte::TaggedPtr<int32_t>::fromRaw(BufA, 9);
+  auto PB = mte::TaggedPtr<int32_t>::fromRaw(BufB, 9);
+  mte::setTagRange(PA.cast<void>(), 4096);
+  mte::setTagRange(PB.cast<void>(), 4096);
+  int I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(mte::load<int32_t>((I & 1 ? PB : PA) + (I & 1023)));
+    ++I;
+  }
+  mte::clearTagRange(reinterpret_cast<uint64_t>(BufA), 4096);
+  mte::clearTagRange(reinterpret_cast<uint64_t>(BufB), 4096);
+  arena().deallocate(BufA);
+  SecondArena.deallocate(BufB);
+  mte::MteSystem::instance().setProcessCheckMode(mte::CheckMode::None);
+}
+BENCHMARK(BM_LoadCheckedCacheMiss);
+
+/// Range-scan row: one checkReadRange over N bytes resolves to a single
+/// SWAR/SIMD sweep of N/16 shadow bytes in the cached region. This is the
+/// path bulk copies (GetByteArrayRegion, memcpy shims) ride.
+void BM_CheckRangeScan(benchmark::State &State) {
+  mte::MteSystem::instance().setProcessCheckMode(mte::CheckMode::Sync);
+  mte::ThreadState::current().setTco(false);
+  uint64_t Bytes = static_cast<uint64_t>(State.range(0));
+  void *Buf = arena().allocate(Bytes);
+  auto P = mte::TaggedPtr<void>::fromRaw(Buf, 11);
+  mte::setTagRange(P, Bytes);
+  for (auto _ : State)
+    mte::checkReadRange(P.cast<const void>(), Bytes);
+  mte::clearTagRange(reinterpret_cast<uint64_t>(Buf), Bytes);
+  arena().deallocate(Buf);
+  mte::MteSystem::instance().setProcessCheckMode(mte::CheckMode::None);
+  State.SetBytesProcessed(int64_t(State.iterations()) * int64_t(Bytes));
+}
+BENCHMARK(BM_CheckRangeScan)->Range(256, 256 << 10);
+
+/// Raw shadow-scan kernels over N granule tags: the byte loop the seed
+/// shipped vs the SWAR word scan vs the runtime-dispatched best kernel
+/// (AVX2/SSE2 when available). The dispatch row over the scalar row is the
+/// >=2x large-scan acceptance gate for this change.
+template <uint64_t (*Scan)(const uint8_t *, uint64_t, mte::TagValue)>
+void BM_TagScan(benchmark::State &State) {
+  uint64_t Granules = static_cast<uint64_t>(State.range(0));
+  std::vector<uint8_t> Tags(Granules, 5);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Scan(Tags.data(), Granules, 5));
+  // One shadow byte checked per 16-byte granule covered.
+  State.SetBytesProcessed(int64_t(State.iterations()) * int64_t(Granules));
+}
+BENCHMARK_TEMPLATE(BM_TagScan, mte::detail::scanMismatchScalar)
+    ->Name("BM_TagScanScalar")
+    ->Range(64, 64 << 10);
+BENCHMARK_TEMPLATE(BM_TagScan, mte::detail::scanMismatchSwar)
+    ->Name("BM_TagScanSwar")
+    ->Range(64, 64 << 10);
+BENCHMARK_TEMPLATE(BM_TagScan, mte::detail::scanMismatch)
+    ->Name("BM_TagScanDispatch")
+    ->Range(64, 64 << 10);
+
 /// Algorithm 1+2 round trip, single thread.
 template <core::LockScheme Scheme>
 void BM_AcquireRelease(benchmark::State &State) {

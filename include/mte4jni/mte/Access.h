@@ -18,8 +18,10 @@
 #ifndef MTE4JNI_MTE_ACCESS_H
 #define MTE4JNI_MTE_ACCESS_H
 
+#include "mte4jni/mte/TagStorage.h"
 #include "mte4jni/mte/TaggedPtr.h"
 #include "mte4jni/mte/ThreadState.h"
+#include "mte4jni/support/Metrics.h"
 
 #include <cstring>
 #include <type_traits>
@@ -27,15 +29,62 @@
 namespace mte4jni::mte {
 
 namespace detail {
-/// Out-of-line tag check; called only when the current thread has checks
-/// enabled. Performs the granule compare and fault delivery/latching.
+/// Out-of-line tag check; called on region-cache miss or when the fast
+/// path saw a mismatch. Resolves the region(s) granule-by-granule, refills
+/// the thread's region cache, and performs fault delivery/latching.
 void checkAccessSlow(ThreadState &TS, uint64_t Bits, uint32_t Size,
                      bool IsWrite);
+
+/// Header-inlined hit path: the access lies entirely inside the thread's
+/// cached last-hit region, the cache is from the current publish epoch,
+/// and every touched granule's tag matches. Returns false (deferring to
+/// checkAccessSlow) on cache miss, straddle out of the cached region, or
+/// tag mismatch. The epoch load is the only shared-state read — no
+/// MteSystem::instance() magic-static guard, no region-list walk.
+M4J_ALWAYS_INLINE bool checkAccessFast(ThreadState &TS, uint64_t Bits,
+                                       uint32_t Size, bool IsWrite) {
+  const TaggedRegion *Region = TS.cachedRegion();
+  if (Region == nullptr)
+    return false;
+  if (M4J_UNLIKELY(TS.cachedRegionEpoch() !=
+                   RegionPublishEpoch.load(std::memory_order_acquire)))
+    return false;
+  uint64_t Address = addressOf(Bits);
+  uint64_t LastByte = Address + Size - 1;
+  if (M4J_UNLIKELY(!Region->contains(Address) ||
+                   !Region->contains(LastByte)))
+    return false;
+  TagValue PointerTag = pointerTagOf(Bits);
+  uint64_t First = support::alignDown(Address, kGranuleSize);
+  uint64_t Last = support::alignDown(LastByte, kGranuleSize);
+  for (uint64_t Granule = First;; Granule += kGranuleSize) {
+    if (M4J_UNLIKELY(Region->tagAt(Granule) != PointerTag))
+      return false; // slow path re-checks and reports
+    if (Granule >= Last)
+      break;
+  }
+  uint64_t Granules = ((Last - First) >> kGranuleShift) + 1;
+  TS.noteChecks(Granules);
+  static support::Counter &CacheHits =
+      support::Metrics::counter("mte/access/region_cache_hit");
+  static support::Counter &CheckedLoads =
+      support::Metrics::counter("mte/access/checked_loads");
+  static support::Counter &CheckedStores =
+      support::Metrics::counter("mte/access/checked_stores");
+  static support::Counter &CheckedGranules =
+      support::Metrics::counter("mte/access/checked_granules");
+  CacheHits.add();
+  (IsWrite ? CheckedStores : CheckedLoads).add();
+  CheckedGranules.add(Granules);
+  return true;
+}
 
 M4J_ALWAYS_INLINE void maybeCheck(uint64_t Bits, uint32_t Size,
                                   bool IsWrite) {
   ThreadState &TS = ThreadState::current();
   if (M4J_LIKELY(!TS.checksOn()))
+    return;
+  if (M4J_LIKELY(checkAccessFast(TS, Bits, Size, IsWrite)))
     return;
   checkAccessSlow(TS, Bits, Size, IsWrite);
 }

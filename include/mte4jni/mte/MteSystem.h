@@ -32,6 +32,7 @@
 namespace mte4jni::mte {
 
 class ThreadState;
+class MteSystem;
 
 /// Counters over simulated MTE instructions; cold-path only (tagging and
 /// mismatch events), so they do not distort benchmark fast paths.
@@ -51,6 +52,34 @@ struct MteStats {
     AsyncFaultsLatched = 0;
     AsyncFaultsDelivered = 0;
   }
+};
+
+/// RAII read-side critical section over the region snapshot. Construction
+/// publishes the observed publish epoch into the calling thread's epoch
+/// slot (so publishRegions defers freeing any RegionList this thread may
+/// still be walking), then loads the snapshot; destruction restores the
+/// slot. Nesting is safe (inner pins restore the outer epoch). This is the
+/// ONLY way to walk regions concurrently with register/unregister churn —
+/// MteSystem::regions() is for quiescent callers (tests, diagnostics).
+class RegionPin {
+public:
+  explicit RegionPin(const MteSystem &System);
+  ~RegionPin();
+
+  RegionPin(const RegionPin &) = delete;
+  RegionPin &operator=(const RegionPin &) = delete;
+
+  const RegionList *operator->() const { return List; }
+  const RegionList &list() const { return *List; }
+  /// The publish epoch under which this snapshot was observed; the value
+  /// per-thread region caches must stamp.
+  uint64_t epoch() const { return Epoch; }
+
+private:
+  std::atomic<uint64_t> *Slot;
+  uint64_t Saved;
+  const RegionList *List;
+  uint64_t Epoch;
 };
 
 class MteSystem {
@@ -89,14 +118,18 @@ public:
   /// Unregisters a region previously registered at \p Begin.
   void unregisterRegion(void *Begin);
 
-  /// Current immutable region snapshot (never null).
+  /// Current immutable region snapshot (never null). Safe only for
+  /// quiescent callers: a snapshot returned here may be freed once a later
+  /// publish retires it. Concurrent walkers use RegionPin.
   M4J_ALWAYS_INLINE const RegionList *regions() const {
     return RegionsSnapshot.load(std::memory_order_acquire);
   }
 
-  bool isTaggedAddress(uint64_t Addr) const {
-    return regions()->find(Addr) != nullptr;
-  }
+  bool isTaggedAddress(uint64_t Addr) const;
+
+  /// Retired-but-not-yet-freed snapshots (diagnostics/tests: the deferred
+  /// retire list must stay bounded under churn).
+  size_t retiredSnapshotCount() const;
 
   /// Memory tag of \p Addr, or 0 when the address is not in any region.
   TagValue memoryTagAt(uint64_t Addr) const;
@@ -127,18 +160,29 @@ public:
 
 private:
   MteSystem();
+  friend class RegionPin;
 
   void publishRegions(std::vector<std::shared_ptr<TaggedRegion>> NewRegions);
+
+  /// Frees retired snapshots no pinned reader can still hold. Caller holds
+  /// RegionLock; takes ThreadLock (that nesting order is load-bearing).
+  void reclaimRetiredLocked();
 
   std::atomic<CheckMode> ProcessMode{CheckMode::None};
   std::atomic<uint16_t> IrgExclude{0x0001}; // exclude tag 0 by default
 
-  // Region snapshots: published via atomic pointer; retired snapshots are
-  // kept alive until reset() so readers never race destruction.
+  // Region snapshots: published via atomic pointer. A superseded snapshot
+  // is parked on RetiredSnapshots stamped with the epoch at which it was
+  // swapped out, and freed once every thread's RegionPin epoch slot shows
+  // it can no longer be referencing it (see reclaimRetiredLocked).
+  struct RetiredSnapshot {
+    uint64_t Epoch;
+    std::unique_ptr<const RegionList> List;
+  };
   std::atomic<const RegionList *> RegionsSnapshot;
-  std::vector<std::unique_ptr<const RegionList>> RetiredSnapshots;
+  std::vector<RetiredSnapshot> RetiredSnapshots;
   std::vector<std::shared_ptr<TaggedRegion>> LiveRegions;
-  support::SpinLock RegionLock;
+  mutable support::SpinLock RegionLock;
 
   FaultLog Log;
   std::atomic<FaultHandler> Handler{nullptr};

@@ -26,6 +26,34 @@
 
 namespace mte4jni::mte {
 
+namespace detail {
+
+/// Monotonic epoch bumped by MteSystem::publishRegions. Per-thread region
+/// caches stamp the epoch at fill time and treat themselves as invalid the
+/// moment it moves; the deferred snapshot retire list uses the same counter
+/// to decide when a superseded RegionList can be freed. A plain namespace
+/// global (not a member) so the header-inlined access fast path can read it
+/// without paying the MteSystem::instance() magic-static guard.
+extern std::atomic<uint64_t> RegionPublishEpoch;
+
+/// Reference byte-at-a-time shadow scan: first index in [0, Count) whose
+/// tag differs from \p Expected, or UINT64_MAX. Kept for equivalence tests
+/// and as the benchmark baseline for the vector scans below.
+uint64_t scanMismatchScalar(const uint8_t *Tags, uint64_t Count,
+                            TagValue Expected);
+
+/// SWAR scan: compares 8 shadow granule-tags per uint64_t (replicated
+/// expected byte, XOR, first-nonzero-byte). Same contract as the scalar
+/// scan.
+uint64_t scanMismatchSwar(const uint8_t *Tags, uint64_t Count,
+                          TagValue Expected);
+
+/// Dispatching scan used by TaggedRegion::findMismatch: AVX2 (when the
+/// build enabled it and the CPU has it) > SSE2 > SWAR.
+uint64_t scanMismatch(const uint8_t *Tags, uint64_t Count, TagValue Expected);
+
+} // namespace detail
+
 /// Shadow tags for one contiguous registered (PROT_MTE) region.
 class TaggedRegion {
 public:
@@ -89,6 +117,15 @@ public:
     for (const auto &Region : Regions)
       if (Region->contains(Addr))
         return Region.get();
+    return nullptr;
+  }
+
+  /// Shared-ownership lookup: the per-thread region cache keeps the
+  /// returned shared_ptr so a cached region outlives unregisterRegion.
+  std::shared_ptr<const TaggedRegion> findShared(uint64_t Addr) const {
+    for (const auto &Region : Regions)
+      if (Region->contains(Addr))
+        return Region;
     return nullptr;
   }
 

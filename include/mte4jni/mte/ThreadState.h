@@ -29,10 +29,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 namespace mte4jni::mte {
 
 class MteSystem;
+class TaggedRegion;
 
 class ThreadState {
 public:
@@ -93,6 +95,26 @@ public:
   /// changes while the thread already exists).
   void syncModeFromProcess();
 
+  // -- region cache (same-thread only; the checked-access fast path) ------
+  /// Last region this thread's checked accesses hit, or nullptr. Valid only
+  /// while cachedRegionEpoch() still equals detail::RegionPublishEpoch —
+  /// any registerRegion/unregisterRegion invalidates every thread's cache
+  /// by bumping the epoch. The backing shared_ptr keeps the TaggedRegion
+  /// alive across unregistration, so a stale raw pointer can never dangle;
+  /// the epoch check merely keeps it from validating accesses.
+  const TaggedRegion *cachedRegion() const { return CachedRegion; }
+  uint64_t cachedRegionEpoch() const { return CachedRegionEpoch; }
+
+  /// Installs \p Region (observed under publish epoch \p Epoch) as the
+  /// thread's last-hit region. Null clears the cache.
+  void cacheRegion(std::shared_ptr<const TaggedRegion> Region,
+                   uint64_t Epoch);
+
+  /// This thread's read-side epoch slot for the snapshot retire protocol:
+  /// 0 when quiescent, otherwise the publish epoch observed on entering a
+  /// region walk (see MteSystem::RegionPin).
+  std::atomic<uint64_t> &regionEpochSlot() { return ActiveRegionEpoch; }
+
 private:
   ThreadState();
   ~ThreadState();
@@ -118,6 +140,11 @@ private:
 
   uint64_t NumChecks = 0;
   uint64_t NumMismatches = 0;
+
+  const TaggedRegion *CachedRegion = nullptr;
+  std::shared_ptr<const TaggedRegion> CachedRegionRef;
+  uint64_t CachedRegionEpoch = 0;
+  std::atomic<uint64_t> ActiveRegionEpoch{0};
 
   support::Xoshiro256 IrgRng;
   uint64_t Id;

@@ -39,10 +39,15 @@ public:
   /// Enqueues a task for asynchronous execution.
   void submit(std::function<void()> Task);
 
-  /// Blocks until every submitted task has completed.
+  /// Blocks until every submitted task has completed — including tasks
+  /// other threads submit while this call is waiting. For a wait scoped to
+  /// your own work, use parallelFor (per-batch completion).
   void waitIdle();
 
-  /// Runs Body(I) for I in [0, Count) across the pool and waits.
+  /// Runs Body(I) for I in [0, Count) across the pool and waits for THIS
+  /// batch only: concurrent unrelated submit()s do not extend the wait.
+  /// Asserts when called from one of this pool's own workers (the caller
+  /// would block a worker slot its own batch needs — a deadlock).
   void parallelFor(size_t Count, const std::function<void(size_t)> &Body);
 
 private:

@@ -21,7 +21,9 @@ namespace {
 
 /// Per-path metrics behind the paper's Figure 5/8 breakdowns: how many
 /// accesses actually reached the tag check, how many granules those
-/// checks covered, and how mismatches split across TCF modes.
+/// checks covered, how mismatches split across TCF modes, and how the
+/// per-thread region cache performed (hits are counted in the inlined
+/// fast path, Access.h).
 struct AccessMetrics {
   support::Counter &CheckedLoads =
       support::Metrics::counter("mte/access/checked_loads");
@@ -33,6 +35,8 @@ struct AccessMetrics {
       support::Metrics::counter("mte/access/mismatch_sync");
   support::Counter &MismatchAsync =
       support::Metrics::counter("mte/access/mismatch_async");
+  support::Counter &RegionCacheMiss =
+      support::Metrics::counter("mte/access/region_cache_miss");
 };
 
 AccessMetrics &accessMetrics() {
@@ -75,29 +79,52 @@ void checkAccessSlow(ThreadState &TS, uint64_t Bits, uint32_t Size,
                      bool IsWrite) {
   MteSystem &System = MteSystem::instance();
   uint64_t Address = addressOf(Bits);
-  const TaggedRegion *Region = System.regions()->find(Address);
-  if (M4J_LIKELY(Region == nullptr))
+  uint64_t LastByte = Address + Size - 1;
+  uint64_t First = support::alignDown(Address, kGranuleSize);
+  uint64_t Last = support::alignDown(LastByte, kGranuleSize);
+  TagValue PointerTag = pointerTagOf(Bits);
+
+  RegionPin Pin(System);
+  accessMetrics().RegionCacheMiss.add();
+
+  // Hardware checks every granule the access touches against the page it
+  // lives in: an access can begin below a PROT_MTE region and extend into
+  // it (the old single find(Address) lookup missed exactly that case), or
+  // span two adjacent regions. Granules outside every region are
+  // unchecked, like non-PROT_MTE memory.
+  uint64_t Checked = 0;
+  const TaggedRegion *Hit = nullptr;
+  for (uint64_t Granule = First;; Granule += kGranuleSize) {
+    const TaggedRegion *Region =
+        (Hit && Hit->contains(Granule)) ? Hit : Pin->find(Granule);
+    if (Region != nullptr) {
+      Hit = Region;
+      ++Checked;
+      if (M4J_UNLIKELY(Region->tagAt(Granule) != PointerTag)) {
+        TS.noteChecks(Checked);
+        AccessMetrics &AM = accessMetrics();
+        (IsWrite ? AM.CheckedStores : AM.CheckedLoads).add();
+        AM.CheckedGranules.add(Checked);
+        reportMismatch(TS, Address, PointerTag, Region->tagAt(Granule), Size,
+                       IsWrite);
+        return;
+      }
+    }
+    if (Granule >= Last)
+      break;
+  }
+  if (Checked == 0)
     return; // not PROT_MTE memory: unchecked, like hardware
 
-  TagValue PointerTag = pointerTagOf(Bits);
-  // An access can straddle a granule boundary; hardware checks each
-  // granule it touches.
-  uint64_t First = support::alignDown(Address, kGranuleSize);
-  uint64_t Last = support::alignDown(Address + Size - 1, kGranuleSize);
-  uint64_t Granules = ((Last - First) >> kGranuleShift) + 1;
-  TS.noteChecks(Granules);
+  TS.noteChecks(Checked);
   AccessMetrics &AM = accessMetrics();
   (IsWrite ? AM.CheckedStores : AM.CheckedLoads).add();
-  AM.CheckedGranules.add(Granules);
-  for (uint64_t Granule = First; Granule <= Last; Granule += kGranuleSize) {
-    TagValue MemoryTag = Region->contains(Granule)
-                             ? Region->tagAt(Granule)
-                             : System.memoryTagAt(Granule);
-    if (M4J_UNLIKELY(MemoryTag != PointerTag)) {
-      reportMismatch(TS, Address, PointerTag, MemoryTag, Size, IsWrite);
-      return;
-    }
-  }
+  AM.CheckedGranules.add(Checked);
+
+  // Refill the last-hit cache when the whole access sits in one region —
+  // the overwhelmingly common case the inlined fast path serves next time.
+  if (Hit->contains(Address) && Hit->contains(LastByte))
+    TS.cacheRegion(Pin->findShared(Address), Pin.epoch());
 }
 
 } // namespace detail
@@ -105,9 +132,61 @@ void checkAccessSlow(ThreadState &TS, uint64_t Bits, uint32_t Size,
 namespace {
 
 /// Granule-stride check over [Bits, Bits+Bytes) used by the bulk helpers.
-/// One region lookup, then a vectorisable scan of the shadow bytes — the
+/// One SWAR/SIMD scan of the shadow bytes per overlapped region — the
 /// hardware analog is that a memcpy's tag checks ride along with its loads
-/// and stores at no visible extra cost.
+/// and stores at no visible extra cost. Ranges may straddle region
+/// boundaries in either direction; every granule inside a region is
+/// checked, granules outside every region are not.
+M4J_NOINLINE void checkRangeSlow(ThreadState &TS, uint64_t Bits,
+                                 uint64_t Bytes, bool IsWrite) {
+  MteSystem &System = MteSystem::instance();
+  uint64_t Address = addressOf(Bits);
+  uint64_t End = Address + Bytes;
+  TagValue PointerTag = pointerTagOf(Bits);
+
+  RegionPin Pin(System);
+  detail::AccessMetrics &AM = detail::accessMetrics();
+  AM.RegionCacheMiss.add();
+
+  uint64_t Granules = 0;
+  const TaggedRegion *Container = nullptr;
+  for (const auto &RegionPtr : Pin->regions()) {
+    const TaggedRegion &Region = *RegionPtr;
+    uint64_t From = std::max(Address, Region.begin());
+    uint64_t To = std::min(End, Region.end());
+    if (From >= To)
+      continue;
+    uint64_t FirstIdx =
+        granuleIndex(support::alignDown(From, kGranuleSize), Region.begin());
+    uint64_t LastIdx =
+        granuleIndex(support::alignDown(To - 1, kGranuleSize), Region.begin());
+    Granules += LastIdx - FirstIdx + 1;
+    uint64_t Bad = Region.findMismatch(FirstIdx, LastIdx, PointerTag);
+    if (M4J_UNLIKELY(Bad != UINT64_MAX)) {
+      TS.noteChecks(Granules);
+      (IsWrite ? AM.CheckedStores : AM.CheckedLoads).add();
+      AM.CheckedGranules.add(Granules);
+      uint64_t BadAddr = Region.begin() + (Bad << kGranuleShift);
+      uint64_t FaultAddr = std::max(Address, BadAddr);
+      detail::reportMismatch(
+          TS, FaultAddr, PointerTag, Region.tagAt(BadAddr),
+          static_cast<uint32_t>(std::min<uint64_t>(Bytes, kGranuleSize)),
+          IsWrite);
+      return;
+    }
+    if (Address >= Region.begin() && End <= Region.end())
+      Container = &Region;
+  }
+  if (Granules == 0)
+    return; // not PROT_MTE memory
+
+  TS.noteChecks(Granules);
+  (IsWrite ? AM.CheckedStores : AM.CheckedLoads).add();
+  AM.CheckedGranules.add(Granules);
+  if (Container != nullptr)
+    TS.cacheRegion(Pin->findShared(Address), Pin.epoch());
+}
+
 M4J_ALWAYS_INLINE void checkRange(uint64_t Bits, uint64_t Bytes,
                                   bool IsWrite) {
   if (Bytes == 0)
@@ -116,34 +195,36 @@ M4J_ALWAYS_INLINE void checkRange(uint64_t Bits, uint64_t Bytes,
   if (M4J_LIKELY(!TS.checksOn()))
     return;
 
-  MteSystem &System = MteSystem::instance();
+  // Fast path: whole range inside the thread's cached region under the
+  // current publish epoch — one SWAR/SIMD scan, no list walk.
   uint64_t Address = addressOf(Bits);
-  const TaggedRegion *Region = System.regions()->find(Address);
-  if (M4J_LIKELY(Region == nullptr))
-    return; // not PROT_MTE memory
-
-  TagValue PointerTag = pointerTagOf(Bits);
-  uint64_t First = granuleIndex(support::alignDown(Address, kGranuleSize),
-                                Region->begin());
-  uint64_t LastAddr = std::min(Address + Bytes - 1, Region->end() - 1);
-  uint64_t Last = granuleIndex(support::alignDown(LastAddr, kGranuleSize),
-                               Region->begin());
-  TS.noteChecks(Last - First + 1);
-  detail::AccessMetrics &AM = detail::accessMetrics();
-  (IsWrite ? AM.CheckedStores : AM.CheckedLoads).add();
-  AM.CheckedGranules.add(Last - First + 1);
-  uint64_t Bad = Region->findMismatch(First, Last, PointerTag);
-  if (M4J_LIKELY(Bad == UINT64_MAX)) {
-    // Bytes past the region's end (if any) are unchecked, like non-MTE
-    // memory on hardware.
-    return;
+  const TaggedRegion *Cached = TS.cachedRegion();
+  if (M4J_LIKELY(
+          Cached != nullptr &&
+          TS.cachedRegionEpoch() ==
+              detail::RegionPublishEpoch.load(std::memory_order_acquire) &&
+          Cached->contains(Address) && Bytes <= Cached->end() - Address)) {
+    TagValue PointerTag = pointerTagOf(Bits);
+    uint64_t FirstIdx = granuleIndex(
+        support::alignDown(Address, kGranuleSize), Cached->begin());
+    uint64_t LastIdx =
+        granuleIndex(support::alignDown(Address + Bytes - 1, kGranuleSize),
+                     Cached->begin());
+    uint64_t Bad = Cached->findMismatch(FirstIdx, LastIdx, PointerTag);
+    if (M4J_LIKELY(Bad == UINT64_MAX)) {
+      uint64_t Granules = LastIdx - FirstIdx + 1;
+      TS.noteChecks(Granules);
+      detail::AccessMetrics &AM = detail::accessMetrics();
+      static support::Counter &CacheHits =
+          support::Metrics::counter("mte/access/region_cache_hit");
+      CacheHits.add();
+      (IsWrite ? AM.CheckedStores : AM.CheckedLoads).add();
+      AM.CheckedGranules.add(Granules);
+      return;
+    }
+    // Mismatch: fall through for uniform counting and reporting.
   }
-  uint64_t BadAddr = Region->begin() + (Bad << kGranuleShift);
-  uint64_t FaultAddr = std::max(Address, BadAddr);
-  detail::checkAccessSlow(TS, withPointerTag(FaultAddr, PointerTag),
-                          static_cast<uint32_t>(std::min<uint64_t>(
-                              Bytes, kGranuleSize)),
-                          IsWrite);
+  checkRangeSlow(TS, Bits, Bytes, IsWrite);
 }
 
 } // namespace

@@ -98,7 +98,8 @@ namespace {
 /// Shared implementation for STG/ST2G/bulk stores.
 void storeTags(uint64_t Addr, uint64_t Granules, TagValue Tag) {
   MteSystem &System = MteSystem::instance();
-  TaggedRegion *Region = System.regions()->findMutable(Addr);
+  RegionPin Pin(System);
+  TaggedRegion *Region = Pin->findMutable(Addr);
   M4J_ASSERT(Region != nullptr,
              "tag store to memory not mapped with PROT_MTE");
   uint64_t From = support::alignDown(Addr, kGranuleSize);

@@ -38,13 +38,67 @@ MteSystem::MteSystem() {
   support::addSyscallObserver(drainAsyncAtSyscall, this);
 }
 
+RegionPin::RegionPin(const MteSystem &System) {
+  ThreadState &TS = ThreadState::current();
+  Slot = &TS.regionEpochSlot();
+  Saved = Slot->load(std::memory_order_relaxed);
+  // seq_cst on the epoch read, slot publish and snapshot load pairs with
+  // the writer's exchange -> epoch bump -> fence -> slot scan sequence: if
+  // our snapshot load observed a list that was later retired at epoch R,
+  // the epoch we published here is <= R and the reclaimer's scan is
+  // guaranteed to see it (classic store-load ordering, needs seq_cst).
+  Epoch = detail::RegionPublishEpoch.load(std::memory_order_seq_cst);
+  // Nested pins keep the OLDER epoch pinned: it protects a superset of the
+  // snapshots the inner walk can touch.
+  uint64_t Pinned = Saved != 0 ? std::min(Saved, Epoch) : Epoch;
+  Slot->store(Pinned, std::memory_order_seq_cst);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  List = System.RegionsSnapshot.load(std::memory_order_seq_cst);
+}
+
+RegionPin::~RegionPin() { Slot->store(Saved, std::memory_order_release); }
+
 void MteSystem::publishRegions(
     std::vector<std::shared_ptr<TaggedRegion>> NewRegions) {
   auto *NewList = new RegionList(std::move(NewRegions));
   const RegionList *Old =
-      RegionsSnapshot.exchange(NewList, std::memory_order_acq_rel);
+      RegionsSnapshot.exchange(NewList, std::memory_order_seq_cst);
+  // Bump AFTER the swap: a reader that still observed the pre-bump epoch
+  // may hold Old, so Old is retired under that epoch. The bump also
+  // invalidates every thread's cached last-hit region.
+  uint64_t RetireEpoch =
+      detail::RegionPublishEpoch.fetch_add(1, std::memory_order_seq_cst);
   if (Old)
-    RetiredSnapshots.emplace_back(Old);
+    RetiredSnapshots.push_back(
+        {RetireEpoch, std::unique_ptr<const RegionList>(Old)});
+  reclaimRetiredLocked();
+}
+
+void MteSystem::reclaimRetiredLocked() {
+  if (RetiredSnapshots.empty())
+    return;
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  // A snapshot retired at epoch R may still be held by a reader whose slot
+  // shows an epoch A <= R (the reader entered before the swap). Readers
+  // with A > R provably loaded a newer list. Quiescent threads (slot 0)
+  // hold nothing.
+  uint64_t MinActive = UINT64_MAX;
+  {
+    std::lock_guard<support::SpinLock> Guard(ThreadLock);
+    for (ThreadState *TS : Threads) {
+      uint64_t A = TS->regionEpochSlot().load(std::memory_order_seq_cst);
+      if (A != 0)
+        MinActive = std::min(MinActive, A);
+    }
+  }
+  std::erase_if(RetiredSnapshots, [MinActive](const RetiredSnapshot &R) {
+    return R.Epoch < MinActive;
+  });
+}
+
+size_t MteSystem::retiredSnapshotCount() const {
+  std::lock_guard<support::SpinLock> Guard(RegionLock);
+  return RetiredSnapshots.size();
 }
 
 void MteSystem::reset() {
@@ -52,8 +106,8 @@ void MteSystem::reset() {
     std::lock_guard<support::SpinLock> Guard(RegionLock);
     LiveRegions.clear();
     publishRegions({});
-    // Retired snapshots stay alive: a reset happens at quiescent points but
-    // keeping them is cheap insurance against stale readers.
+    // Whatever reclaimRetiredLocked could not prove quiescent stays parked
+    // until the next publish re-runs the scan.
   }
   ProcessMode.store(CheckMode::None, std::memory_order_relaxed);
   IrgExclude.store(0x0001, std::memory_order_relaxed);
@@ -106,8 +160,14 @@ void MteSystem::unregisterRegion(void *Begin) {
   publishRegions(LiveRegions);
 }
 
+bool MteSystem::isTaggedAddress(uint64_t Addr) const {
+  RegionPin Pin(*this);
+  return Pin->find(Addr) != nullptr;
+}
+
 TagValue MteSystem::memoryTagAt(uint64_t Addr) const {
-  const TaggedRegion *Region = regions()->find(Addr);
+  RegionPin Pin(*this);
+  const TaggedRegion *Region = Pin->find(Addr);
   return Region ? Region->tagAt(Addr) : TagValue(0);
 }
 

@@ -1,0 +1,42 @@
+//===- TagScanAvx2.cpp - AVX2 shadow-tag scan kernel ----------------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Compiled with -mavx2 when the toolchain supports it (CMake feature
+// check); kept in its own translation unit so the rest of the library
+// stays at the baseline ISA. detail::scanMismatch only calls in here after
+// __builtin_cpu_supports("avx2") confirms the host can execute it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/mte/TagStorage.h"
+
+#include <bit>
+#include <immintrin.h>
+
+namespace mte4jni::mte::detail {
+
+uint64_t scanMismatchAvx2(const uint8_t *Tags, uint64_t Count,
+                          TagValue Expected) {
+  const __m256i Pattern = _mm256_set1_epi8(static_cast<char>(Expected));
+  uint64_t I = 0;
+  for (; I + 32 <= Count; I += 32) {
+    __m256i V =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Tags + I));
+    unsigned Eq = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(V, Pattern)));
+    if (M4J_UNLIKELY(Eq != 0xFFFFFFFFu))
+      return I + static_cast<uint64_t>(std::countr_zero(~Eq));
+  }
+  if (I < Count) {
+    uint64_t Tail = scanMismatchSwar(Tags + I, Count - I, Expected);
+    if (Tail != UINT64_MAX)
+      return I + Tail;
+  }
+  return UINT64_MAX;
+}
+
+} // namespace mte4jni::mte::detail

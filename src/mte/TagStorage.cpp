@@ -8,9 +8,108 @@
 #include "mte4jni/mte/TagStorage.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
+#if defined(__SSE2__) && !defined(M4J_DISABLE_SIMD_SCAN)
+#include <emmintrin.h>
+#endif
+
 namespace mte4jni::mte {
+namespace detail {
+
+std::atomic<uint64_t> RegionPublishEpoch{1};
+
+uint64_t scanMismatchScalar(const uint8_t *Tags, uint64_t Count,
+                            TagValue Expected) {
+  for (uint64_t I = 0; I < Count; ++I)
+    if (M4J_UNLIKELY(Tags[I] != Expected))
+      return I;
+  return UINT64_MAX;
+}
+
+namespace {
+
+/// Locates the first byte of an 8-byte window known to contain a mismatch.
+/// \p Diff is Word XOR replicated-expected, nonzero.
+M4J_ALWAYS_INLINE uint64_t firstDiffByte(uint64_t Diff, const uint8_t *Window,
+                                         TagValue Expected) {
+  if constexpr (std::endian::native == std::endian::little)
+    return static_cast<uint64_t>(std::countr_zero(Diff)) >> 3;
+  for (uint64_t B = 0; B < 8; ++B)
+    if (Window[B] != Expected)
+      return B;
+  return 0; // unreachable: Diff != 0
+}
+
+} // namespace
+
+uint64_t scanMismatchSwar(const uint8_t *Tags, uint64_t Count,
+                          TagValue Expected) {
+  const uint64_t Pattern = 0x0101010101010101ULL * Expected;
+  uint64_t I = 0;
+  // Unaligned 8-byte loads are fine on every target we build for; memcpy
+  // keeps it strict-aliasing clean and compiles to a single mov.
+  for (; I + 8 <= Count; I += 8) {
+    uint64_t Word;
+    std::memcpy(&Word, Tags + I, 8);
+    uint64_t Diff = Word ^ Pattern;
+    if (M4J_UNLIKELY(Diff != 0))
+      return I + firstDiffByte(Diff, Tags + I, Expected);
+  }
+  for (; I < Count; ++I)
+    if (M4J_UNLIKELY(Tags[I] != Expected))
+      return I;
+  return UINT64_MAX;
+}
+
+#if defined(__SSE2__) && !defined(M4J_DISABLE_SIMD_SCAN)
+namespace {
+
+uint64_t scanMismatchSse2(const uint8_t *Tags, uint64_t Count,
+                          TagValue Expected) {
+  const __m128i Pattern = _mm_set1_epi8(static_cast<char>(Expected));
+  uint64_t I = 0;
+  for (; I + 16 <= Count; I += 16) {
+    __m128i V =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(Tags + I));
+    unsigned Eq = static_cast<unsigned>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(V, Pattern)));
+    if (M4J_UNLIKELY(Eq != 0xFFFFu))
+      return I + static_cast<uint64_t>(std::countr_zero(~Eq & 0xFFFFu));
+  }
+  if (I < Count) {
+    uint64_t Tail = scanMismatchSwar(Tags + I, Count - I, Expected);
+    if (Tail != UINT64_MAX)
+      return I + Tail;
+  }
+  return UINT64_MAX;
+}
+
+} // namespace
+#endif // __SSE2__
+
+#if M4J_HAVE_AVX2
+// Defined in TagScanAvx2.cpp, compiled with -mavx2; only called after a
+// runtime CPU check.
+uint64_t scanMismatchAvx2(const uint8_t *Tags, uint64_t Count,
+                          TagValue Expected);
+#endif
+
+uint64_t scanMismatch(const uint8_t *Tags, uint64_t Count, TagValue Expected) {
+#if M4J_HAVE_AVX2
+  static const bool HasAvx2 = __builtin_cpu_supports("avx2");
+  if (HasAvx2 && Count >= 32)
+    return scanMismatchAvx2(Tags, Count, Expected);
+#endif
+#if defined(__SSE2__) && !defined(M4J_DISABLE_SIMD_SCAN)
+  if (Count >= 16)
+    return scanMismatchSse2(Tags, Count, Expected);
+#endif
+  return scanMismatchSwar(Tags, Count, Expected);
+}
+
+} // namespace detail
 
 TaggedRegion::TaggedRegion(uint64_t Begin, uint64_t Size)
     : Begin(Begin), End(Begin + Size),
@@ -37,11 +136,9 @@ uint64_t TaggedRegion::setTagRange(uint64_t From, uint64_t To, TagValue Tag) {
 uint64_t TaggedRegion::findMismatch(uint64_t FirstIdx, uint64_t LastIdx,
                                     TagValue Expected) const {
   M4J_ASSERT(LastIdx < NumGranules, "granule index out of range");
-  const uint8_t *T = Tags.get();
-  for (uint64_t I = FirstIdx; I <= LastIdx; ++I)
-    if (M4J_UNLIKELY(T[I] != Expected))
-      return I;
-  return UINT64_MAX;
+  uint64_t Off = detail::scanMismatch(Tags.get() + FirstIdx,
+                                      LastIdx - FirstIdx + 1, Expected);
+  return Off == UINT64_MAX ? UINT64_MAX : FirstIdx + Off;
 }
 
 } // namespace mte4jni::mte

@@ -83,6 +83,13 @@ void ThreadState::drainAsync(const char *SyscallName) {
   MteSystem::instance().deliverFault(std::move(Record));
 }
 
+void ThreadState::cacheRegion(std::shared_ptr<const TaggedRegion> Region,
+                              uint64_t Epoch) {
+  CachedRegionRef = std::move(Region);
+  CachedRegion = CachedRegionRef.get();
+  CachedRegionEpoch = CachedRegion ? Epoch : 0;
+}
+
 void ThreadState::syncModeFromProcess() {
   Mode = MteSystem::instance().processCheckMode();
   refreshChecksOn();

@@ -74,33 +74,56 @@ void Runtime::detachCurrentThread() {
   AttachedThread.reset();
 }
 
+namespace {
+/// Allocation and rooting must be one atomic step with respect to the
+/// collector: a freshly allocated object is unmarked, unpinned and not yet
+/// reachable from any handle scope, so a GC cycle landing between
+/// JavaHeap::alloc* and HandleScope::root() sweeps it and hands the caller
+/// a pointer into poisoned memory. Holding a runtime critical section
+/// (mutually exclusive with Runtime::beginPause) closes the window; it
+/// also serialises the root-vector push against snapshotRoots(), which
+/// only runs inside a pause.
+struct ScopedAllocCritical {
+  explicit ScopedAllocCritical(Runtime &RT) : RT(RT) { RT.enterCritical(); }
+  ~ScopedAllocCritical() { RT.exitCritical(); }
+  Runtime &RT;
+};
+} // namespace
+
 ObjectHeader *Runtime::newPrimArray(HandleScope &Scope, PrimType Elem,
                                     uint32_t Length) {
-  ObjectHeader *Obj = Heap->allocPrimArray(Elem, Length);
-  if (M4J_UNLIKELY(!Obj)) {
-    // Like ART: collect and retry once before surfacing OutOfMemoryError.
-    Gc->collect();
-    Obj = Heap->allocPrimArray(Elem, Length);
+  {
+    ScopedAllocCritical Guard(*this);
+    if (ObjectHeader *Obj = Heap->allocPrimArray(Elem, Length))
+      return Scope.root(Obj);
   }
-  return Scope.root(Obj);
+  // Like ART: collect and retry once before surfacing OutOfMemoryError.
+  // The critical section must be dropped first — beginPause waits for it.
+  Gc->collect();
+  ScopedAllocCritical Guard(*this);
+  return Scope.root(Heap->allocPrimArray(Elem, Length));
 }
 
 ObjectHeader *Runtime::newRefArray(HandleScope &Scope, uint32_t Length) {
-  ObjectHeader *Obj = Heap->allocRefArray(Length);
-  if (M4J_UNLIKELY(!Obj)) {
-    Gc->collect();
-    Obj = Heap->allocRefArray(Length);
+  {
+    ScopedAllocCritical Guard(*this);
+    if (ObjectHeader *Obj = Heap->allocRefArray(Length))
+      return Scope.root(Obj);
   }
-  return Scope.root(Obj);
+  Gc->collect();
+  ScopedAllocCritical Guard(*this);
+  return Scope.root(Heap->allocRefArray(Length));
 }
 
 ObjectHeader *Runtime::newString(HandleScope &Scope,
                                  std::u16string_view Units) {
+  ScopedAllocCritical Guard(*this);
   return Scope.root(rt::newString(*Heap, Units));
 }
 
 ObjectHeader *Runtime::newStringUtf8(HandleScope &Scope,
                                      std::string_view Utf8) {
+  ScopedAllocCritical Guard(*this);
   return Scope.root(rt::newStringUtf8(*Heap, Utf8));
 }
 

@@ -10,8 +10,16 @@
 #include "mte4jni/support/Compiler.h"
 
 #include <atomic>
+#include <condition_variable>
 
 namespace mte4jni::support {
+
+namespace {
+/// The pool whose workerLoop is running on this thread, if any; used to
+/// reject worker-reentrant parallelFor, which would block a worker on a
+/// batch that needs that same worker to drain.
+thread_local const ThreadPool *CurrentWorkerPool = nullptr;
+} // namespace
 
 size_t hardwareThreads() {
   unsigned N = std::thread::hardware_concurrency();
@@ -55,22 +63,41 @@ void ThreadPool::parallelFor(size_t Count,
                              const std::function<void(size_t)> &Body) {
   if (Count == 0)
     return;
-  std::atomic<size_t> Next{0};
+  M4J_ASSERT(CurrentWorkerPool != this,
+             "parallelFor re-entered from a worker of the same pool; the "
+             "caller would block a worker slot its own batch needs");
+  // Completion is tracked per batch, NOT via waitIdle(): waiting for the
+  // pool to go globally idle blocks this call on unrelated tasks other
+  // threads submit concurrently (and deadlocks outright if one of those
+  // never finishes). The batch state lives on this frame; the final shard
+  // signals Done before the frame is allowed to unwind.
+  struct Batch {
+    std::mutex Lock;
+    std::condition_variable Done;
+    size_t Pending;
+    std::atomic<size_t> Next{0};
+  } B;
   size_t Shards = std::min(Count, Workers.size());
+  B.Pending = Shards;
   for (size_t S = 0; S < Shards; ++S) {
-    submit([&Next, Count, &Body] {
+    submit([&B, Count, &Body] {
       for (;;) {
-        size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+        size_t I = B.Next.fetch_add(1, std::memory_order_relaxed);
         if (I >= Count)
-          return;
+          break;
         Body(I);
       }
+      std::lock_guard<std::mutex> Guard(B.Lock);
+      if (--B.Pending == 0)
+        B.Done.notify_one();
     });
   }
-  waitIdle();
+  std::unique_lock<std::mutex> Guard(B.Lock);
+  B.Done.wait(Guard, [&B] { return B.Pending == 0; });
 }
 
 void ThreadPool::workerLoop() {
+  CurrentWorkerPool = this;
   for (;;) {
     std::function<void()> Task;
     {

@@ -115,6 +115,32 @@ TEST(GcIntegration, BackgroundGcRunsCleanUnderMte4Jni) {
       << "the background collector must actually have run";
 }
 
+// Regression test: allocation and rooting must be atomic wrt the
+// collector. A background GC cycle landing between JavaHeap::alloc* and
+// HandleScope::root() used to sweep the fresh (unmarked, unpinned, not yet
+// reachable) object and poison its header — every later JNI call through
+// the returned pointer then saw a garbage ClassWord. The scope churn +
+// 1 ms GC interval below hammer exactly that window.
+TEST(GcIntegration, AllocationRacingBackgroundGcStaysRooted) {
+  api::SessionConfig C;
+  C.Protection = api::Scheme::Mte4JniSync;
+  C.BackgroundGc = true;
+  C.GcIntervalMillis = 1;
+  api::Session S(C);
+  api::ScopedAttach Main(S, "main");
+
+  for (int I = 0; I < 400; ++I) {
+    rt::HandleScope Scope(S.runtime());
+    jni::jarray A = Main.env().NewIntArray(Scope, 64);
+    ASSERT_NE(A, nullptr);
+    ASSERT_EQ(A->kind(), rt::ObjectKind::PrimArray)
+        << "freshly rooted array swept by the background collector";
+    if ((I & 15) == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(S.faults().totalCount(), 0u);
+}
+
 TEST(GcIntegration, CriticalSectionHoldsOffGc) {
   api::SessionConfig C;
   C.Protection = api::Scheme::Mte4JniSync;

@@ -146,4 +146,37 @@ TEST(ThreadPool, HardwareThreadsNonZero) {
   EXPECT_GE(hardwareThreads(), 1u);
 }
 
+// parallelFor waits on ITS batch only: a long-running unrelated submit()
+// must not extend the wait. The seed implementation funnelled through
+// waitIdle() and deadlocked here (the blocked task never finishes until
+// parallelFor returns).
+TEST(ThreadPool, ParallelForIgnoresUnrelatedTasks) {
+  ThreadPool Pool(4);
+  std::mutex Gate;
+  Gate.lock();
+  Pool.submit([&Gate] {
+    Gate.lock(); // held by the main thread until after parallelFor returns
+    Gate.unlock();
+  });
+  std::atomic<int> Done{0};
+  Pool.parallelFor(100, [&](size_t) { ++Done; });
+  EXPECT_EQ(Done.load(), 100);
+  Gate.unlock(); // only now may the blocked task finish
+  Pool.waitIdle();
+}
+
+// Calling parallelFor from one of the pool's own workers would block a
+// worker slot its own batch needs; the pool asserts instead of hanging.
+TEST(ThreadPoolDeathTest, WorkerReentrantParallelForAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool Pool(2);
+        Pool.parallelFor(2, [&Pool](size_t) {
+          Pool.parallelFor(2, [](size_t) {});
+        });
+      },
+      "parallelFor re-entered");
+}
+
 } // namespace
