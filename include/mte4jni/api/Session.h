@@ -74,6 +74,9 @@ struct SessionConfig {
   uint64_t HeapBytes = 64ull << 20;
   /// 0 = pick automatically (16 under MTE4JNI per §4.1, else 8).
   unsigned HeapAlignment = 0;
+  /// Per-thread allocation buffer carved per refill (see rt::HeapConfig).
+  /// 0 routes every bump through the refill lock.
+  uint64_t HeapTlabBytes = 64 << 10;
 
   /// Guarded-copy red-zone size per side.
   uint64_t GuardedRedZoneBytes = 2048;
@@ -84,6 +87,9 @@ struct SessionConfig {
   /// Correct §3.3 behaviour (default). Set false to reproduce the
   /// spurious-fault failure mode of a GC whose checks are left enabled.
   bool GcSuppressTagChecks = true;
+  /// GC worker threads: 0 = auto (min(hardware, 8)), 1 = single-threaded
+  /// ablation baseline.
+  unsigned GcParallelism = 0;
 
   uint64_t Seed = 1;
 };

@@ -6,14 +6,37 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The Java heap: a contiguous arena with bump allocation plus segregated
-/// free lists refilled by the GC sweep. Two knobs reproduce the paper's
-/// §4.1 modifications:
+/// The Java heap: a contiguous arena with thread-local allocation buffers
+/// (TLABs) bumping off a shared frontier, sharded segregated free lists
+/// refilled by the GC sweep, and an object-start liveness bitmap. Two knobs
+/// reproduce the paper's §4.1 modifications:
 ///
 ///   * Alignment — ART's default is 8 bytes; MTE4JNI raises it to 16 so no
 ///     two objects ever share a tag granule.
 ///   * ProtMte — when set, the arena is registered with the MTE simulator
 ///     (the analog of mapping the heap with PROT_MTE).
+///
+/// Allocation pipeline (AllocPipeline::Tlab, the default):
+///
+///   * The common alloc is a bump-pointer increment in the calling
+///     thread's TLAB — no lock, no shared cache line. TLABs are carved
+///     from the arena under a short-held refill mutex and, under
+///     TagOnAlloc, bulk-cleaned with ONE st2g-style tag-range write per
+///     refill so per-object colouring never pays a stale-tag scrub.
+///   * Free lists are sharded by the thread's exclusive metrics shard and
+///     indexed by size class (direct array up to 256 classes, map beyond),
+///     so reuse after a same-thread free or GC sweep stays O(1) under an
+///     uncontended spinlock. When the bump frontier is exhausted the slow
+///     path steals exact-size blocks from every shard before reporting
+///     OutOfMemoryError.
+///   * Liveness is an atomic side bitmap over alignment granules:
+///     isLiveObject is a lock-free O(1) bit test, and forEachObject walks
+///     the bitmap linearly WITHOUT holding any heap lock — callbacks may
+///     allocate and free.
+///
+/// AllocPipeline::GlobalLock preserves the seed allocator's behaviour —
+/// every alloc/free serialises on one mutex — as the ablation baseline
+/// for bench_alloc_throughput.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,16 +45,30 @@
 
 #include "mte4jni/rt/Object.h"
 #include "mte4jni/support/MathExtras.h"
+#include "mte4jni/support/Metrics.h"
+#include "mte4jni/support/SpinLock.h"
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace mte4jni::rt {
+
+/// Allocation pipeline ablation (see bench_alloc_throughput).
+enum class AllocPipeline : uint8_t {
+  /// Per-thread TLABs + sharded free lists; the scalable default.
+  Tlab,
+  /// Every alloc/free serialises on one mutex around a std::set liveness
+  /// index and an ordered free-list map — the seed allocator's behaviour
+  /// and cost model, kept as the contended-allocation baseline.
+  GlobalLock,
+};
 
 struct HeapConfig {
   uint64_t CapacityBytes = 64ull << 20;
@@ -42,9 +79,14 @@ struct HeapConfig {
   /// Design ablation (see core/AllocTagPolicy.h): give every object a
   /// random tag at allocation time and clear it when the object is
   /// freed, instead of tagging at the JNI boundary. Requires ProtMte and
-  /// 16-byte alignment; incompatible with the compacting GC (tags do not
-  /// move with objects).
+  /// 16-byte alignment. Compatible with the compacting GC: compact()
+  /// migrates allocation colours with moved objects.
   bool TagOnAlloc = false;
+  /// TLAB size carved per refill (clamped to CapacityBytes/16). 0 keeps
+  /// the sharded free lists but sends every bump through the refill lock.
+  uint64_t TlabBytes = 64 << 10;
+  /// Tlab (default) or GlobalLock (the serialised ablation baseline).
+  AllocPipeline Pipeline = AllocPipeline::Tlab;
 };
 
 struct HeapStats {
@@ -74,18 +116,30 @@ public:
   /// Allocates an Object[] of \p Length null slots.
   ObjectHeader *allocRefArray(uint32_t Length);
 
-  /// Frees an object (GC sweep only).
+  /// Frees an object (GC sweep only). Thread-safe.
   void free(ObjectHeader *Obj);
 
-  /// Calls \p Fn for every live object. The heap lock is held: \p Fn must
-  /// not allocate or free.
+  /// Calls \p Fn for every live object, walking the liveness bitmap in
+  /// address order WITHOUT holding any heap lock: \p Fn may allocate and
+  /// free (including the visited object itself). Objects allocated after
+  /// the walk passes their bitmap word may be missed; the caller must
+  /// prevent concurrent frees of objects it did not free itself (the GC
+  /// runs this inside a world pause).
   void forEachObject(const std::function<void(ObjectHeader *)> &Fn);
+
+  /// forEachObject restricted to stripe \p Stripe of \p NumStripes equal
+  /// bitmap segments — the parallel-sweep partitioning. Every live object
+  /// is visited by exactly one stripe.
+  void forEachObjectShard(unsigned Stripe, unsigned NumStripes,
+                          const std::function<void(ObjectHeader *)> &Fn);
 
   /// Mark-compact support: slides live objects toward the heap base in
   /// address order, skipping pinned objects (which stay exactly where
-  /// native code's raw pointers expect them). Returns the mapping of
-  /// moved objects (old header -> new header); the caller (the GC) must
-  /// update every root. The world must be paused.
+  /// native code's raw pointers expect them). Under TagOnAlloc the
+  /// allocation colours migrate with the payload (old granules cleared,
+  /// new granules retagged). Returns the mapping of moved objects (old
+  /// header -> new header); the caller (the GC) must update every root.
+  /// The world must be paused.
   std::vector<std::pair<ObjectHeader *, ObjectHeader *>> compact();
 
   bool contains(const void *Ptr) const {
@@ -93,7 +147,8 @@ public:
     return Addr >= Base && Addr < Base + Config.CapacityBytes;
   }
 
-  /// True if \p Ptr points at the header of a live object.
+  /// True if \p Ptr points at the header of a live object. Lock-free O(1)
+  /// bitmap test.
   bool isLiveObject(ObjectHeader *Ptr) const;
 
   const HeapConfig &config() const { return Config; }
@@ -101,22 +156,120 @@ public:
 
   uint64_t base() const { return Base; }
   uint64_t capacity() const { return Config.CapacityBytes; }
+  /// Side-bitmap memory overhead (one bit per alignment granule).
+  uint64_t liveBitmapBytes() const { return NumBitWords * 8; }
 
 private:
+  // Shard index space: reuse the metrics registry's exclusive per-thread
+  // shard assignment (support::detail::metricShard). A shard is owned by
+  // at most one live thread, so its TLAB and stat cells are single-writer;
+  // threads past kMetricShards share the overflow shard, which never
+  // bump-allocates and uses atomic RMW for stats.
+  static constexpr unsigned kNumShards = support::kMetricCells;
+  static constexpr unsigned kOverflowShard = support::kMetricOverflowShard;
+  /// Free-list size classes directly indexed by (Size >> AlignShift);
+  /// larger blocks fall into a per-shard map.
+  static constexpr unsigned kNumSmallClasses = 256;
+
+  struct alignas(64) Tlab {
+    /// Next free byte / one-past-the-end of this shard's buffer. Relaxed
+    /// atomics: single-writer (the owning thread) except compact(), which
+    /// runs with the world paused.
+    std::atomic<uint64_t> Cur{0};
+    std::atomic<uint64_t> End{0};
+  };
+
+  struct alignas(64) FreeShard {
+    support::SpinLock Lock;
+    /// Blocks across all lists of this shard; a relaxed hint that lets
+    /// the alloc fast path skip the lock when the shard is empty.
+    std::atomic<uint64_t> Count{0};
+    std::vector<uint64_t> Small[kNumSmallClasses];
+    std::unordered_map<uint64_t, std::vector<uint64_t>> Large;
+  };
+
+  struct alignas(64) StatShard {
+    std::atomic<int64_t> BytesAllocated{0};
+    std::atomic<int64_t> BytesLive{0};
+    std::atomic<int64_t> ObjectsAllocated{0};
+    std::atomic<int64_t> ObjectsLive{0};
+    std::atomic<int64_t> ObjectsFreed{0};
+    std::atomic<int64_t> FreeListHits{0};
+  };
+
+  /// Owned-shard cells take a plain load+store (no RMW); the shared
+  /// overflow shard needs fetch_add to stay exact.
+  M4J_ALWAYS_INLINE static void statAdd(std::atomic<int64_t> &Cell,
+                                        int64_t N, unsigned Shard) {
+    if (M4J_LIKELY(Shard != kOverflowShard))
+      Cell.store(Cell.load(std::memory_order_relaxed) + N,
+                 std::memory_order_relaxed);
+    else
+      Cell.fetch_add(N, std::memory_order_relaxed);
+  }
+
   ObjectHeader *allocObject(uint32_t ClassWord, uint32_t Length,
                             uint64_t PayloadBytes);
+
+  /// Common allocation tail: header init, payload zeroing, TagOnAlloc
+  /// colouring, liveness-bit publish, sharded stats. The Tlab pipeline
+  /// runs it outside any lock; the GlobalLock ablation runs it inside the
+  /// mutex, exactly as the seed did.
+  ObjectHeader *finishAlloc(uint64_t Addr, uint32_t ClassWord,
+                            uint32_t Length, uint64_t Size, unsigned Shard,
+                            bool FreeListHit);
+
+  /// Refill-lock slow path: TLAB refill (bulk tag scrub under TagOnAlloc),
+  /// direct carve for big objects and overflow-shard threads, then
+  /// cross-shard free-list stealing. Sets \p FreeListHit when the block
+  /// came from a (stolen) free list.
+  uint64_t allocSlow(uint64_t Size, unsigned Shard, bool &FreeListHit);
+
+  /// Pops an exact-size block from \p FS; 0 when none. Takes FS.Lock.
+  uint64_t takeFromShard(FreeShard &FS, uint64_t Size);
+  /// Pushes a block; takes FS.Lock.
+  void pushToShard(FreeShard &FS, uint64_t Size, uint64_t Addr);
+
+  /// Carves [result, result+Bytes) from the bump frontier; 0 when the
+  /// arena is exhausted. RefillLock must be held.
+  uint64_t carveLocked(uint64_t Bytes);
+
+  // -- liveness bitmap ----------------------------------------------------
+  uint64_t bitIndexOf(uint64_t Addr) const {
+    return (Addr - Base) >> AlignShift;
+  }
+  void setLiveBit(uint64_t Addr, std::memory_order Order);
+  /// Clears the bit; asserts it was set ("freeing unknown object").
+  void clearLiveBit(uint64_t Addr);
 
   HeapConfig Config;
   std::unique_ptr<uint8_t[]> Storage;
   uint64_t Base = 0;
-  uint64_t BumpOffset = 0;
+  unsigned AlignShift = 3;
+  uint64_t EffTlabBytes = 0;
 
-  // Free lists keyed by exact (aligned) block size.
-  std::unordered_map<uint64_t, std::vector<uint64_t>> FreeLists;
-  std::unordered_set<ObjectHeader *> LiveObjects;
-  HeapStats Stats;
+  /// Allocation frontier, guarded by RefillLock for writes; readable
+  /// lock-free (forEachObject bounds its walk with it).
+  std::atomic<uint64_t> BumpOffset{0};
+  mutable std::mutex RefillLock;
 
-  mutable std::mutex Lock;
+  /// One bit per alignment granule, set at the granule holding a live
+  /// object's header.
+  std::unique_ptr<std::atomic<uint64_t>[]> LiveBits;
+  uint64_t NumBitWords = 0;
+
+  std::unique_ptr<Tlab[]> Tlabs;
+  std::unique_ptr<FreeShard[]> FreeShards;
+  std::unique_ptr<StatShard[]> StatShards;
+
+  /// Seed-fidelity state for the GlobalLock ablation, guarded by
+  /// RefillLock: the seed kept a std::set liveness index and an ordered
+  /// free-list map behind one mutex, so the ablation keeps paying those
+  /// per-op costs (tree lookups, node churn) — the baseline
+  /// bench_alloc_throughput compares against is the seed allocator, not a
+  /// hybrid borrowing the new data structures.
+  std::set<uint64_t> SeedLive;
+  std::map<uint64_t, std::vector<uint64_t>> SeedFree;
 };
 
 } // namespace mte4jni::rt

@@ -157,6 +157,14 @@ struct ObjectHeader {
     else
       Ref.fetch_and(~kFlagMarked, std::memory_order_relaxed);
   }
+  /// Sets the mark bit and reports whether THIS call claimed it — the
+  /// parallel mark phase's claim operation (exactly one worker traces each
+  /// object's children).
+  bool tryMark() {
+    return !(std::atomic_ref<uint32_t>(Flags).fetch_or(
+                 kFlagMarked, std::memory_order_relaxed) &
+             kFlagMarked);
+  }
 
   // -- pin count ---------------------------------------------------------
   uint32_t pinCount() const {

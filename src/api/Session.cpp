@@ -50,11 +50,13 @@ Session::Session(const SessionConfig &Config) : Config(Config) {
                             ? mte::CheckMode::Async
                             : mte::CheckMode::None);
   RC.Heap.TagOnAlloc = Config.Protection == Scheme::TagOnAllocSync;
+  RC.Heap.TlabBytes = Config.HeapTlabBytes;
   RC.TagChecksInNative = IsMte;
   RC.Gc.BackgroundThread = Config.BackgroundGc;
   RC.Gc.IntervalMillis = Config.GcIntervalMillis;
   RC.Gc.VerifyObjectBodies = Config.GcVerifiesBodies;
   RC.Gc.SuppressTagChecks = Config.GcSuppressTagChecks;
+  RC.Gc.Parallelism = Config.GcParallelism;
   RC.Seed = Config.Seed;
 
   Runtime = std::make_unique<rt::Runtime>(RC);

@@ -12,9 +12,12 @@
 #include "mte4jni/rt/Runtime.h"
 #include "mte4jni/support/Backtrace.h"
 #include "mte4jni/support/Metrics.h"
+#include "mte4jni/support/SpinLock.h"
 #include "mte4jni/support/Syscall.h"
+#include "mte4jni/support/ThreadPool.h"
 #include "mte4jni/support/TraceEvents.h"
 
+#include <algorithm>
 #include <chrono>
 #include <unordered_map>
 #include <vector>
@@ -44,6 +47,8 @@ struct GcMetrics {
       support::Metrics::histogram("rt/gc/verify_nanos");
   support::Gauge &HeapBytesLive =
       support::Metrics::gauge("rt/heap/bytes_live");
+  support::Gauge &ParallelWorkers =
+      support::Metrics::gauge("rt/gc/parallel_workers");
 };
 
 GcMetrics &gcMetrics() {
@@ -51,12 +56,26 @@ GcMetrics &gcMetrics() {
   return M;
 }
 
+/// Work-stealing mark tuning: how much of the shared frontier a worker
+/// claims per grab, and the local-stack depth past which it spills half
+/// back to the shared overflow for other workers to steal.
+constexpr size_t kMarkGrabBatch = 32;
+constexpr size_t kMarkSpillThreshold = 1024;
+
 } // namespace
 
 GcController::GcController(Runtime &RT, const GcConfig &Config)
-    : RT(RT), Config(Config) {}
+    : RT(RT), Config(Config) {
+  Workers = Config.Parallelism != 0
+                ? Config.Parallelism
+                : static_cast<unsigned>(
+                      std::min<size_t>(support::hardwareThreads(), 8));
+}
 
-GcController::~GcController() { stop(); }
+GcController::~GcController() {
+  stop();
+  Pool.reset();
+}
 
 void GcController::start() {
   if (Running.exchange(true))
@@ -96,55 +115,153 @@ void GcController::backgroundLoop() {
   }
 }
 
+void GcController::runStriped(unsigned NumStripes,
+                              const std::function<void(size_t)> &Body) {
+  if (Workers <= 1 || NumStripes <= 1) {
+    for (unsigned I = 0; I < NumStripes; ++I)
+      Body(I);
+    return;
+  }
+  // Lazily created: a Parallelism>1 controller that never collects (or a
+  // heap too small to matter) pays no worker threads. collect() bodies are
+  // serialised by the world pause, so creation is race-free.
+  if (!Pool)
+    Pool = std::make_unique<support::ThreadPool>(Workers);
+  Pool->parallelFor(NumStripes, Body);
+}
+
+uint64_t GcController::clearMarks() {
+  // Bitmap-segment striping: each stripe owns a disjoint word range, so
+  // workers never touch the same object.
+  unsigned Stripes = Workers <= 1 ? 1 : Workers * 4;
+  std::atomic<uint64_t> Total{0};
+  runStriped(Stripes, [&](size_t Stripe) {
+    uint64_t Local = 0;
+    RT.heap().forEachObjectShard(
+        static_cast<unsigned>(Stripe), Stripes, [&](ObjectHeader *Obj) {
+          Obj->setMarked(false);
+          ++Local;
+        });
+    Total.fetch_add(Local, std::memory_order_relaxed);
+  });
+  return Total.load(std::memory_order_relaxed);
+}
+
+void GcController::markFromRoots(std::vector<ObjectHeader *> Roots) {
+  if (Workers <= 1 || Roots.size() < 2) {
+    // Single-threaded ablation path (and the trivial-root fast case).
+    std::vector<ObjectHeader *> Worklist(std::move(Roots));
+    while (!Worklist.empty()) {
+      ObjectHeader *Obj = Worklist.back();
+      Worklist.pop_back();
+      if (!Obj || !Obj->tryMark())
+        continue;
+      if (Obj->kind() == ObjectKind::RefArray) {
+        ObjectHeader **Slots = refArraySlots(Obj);
+        for (uint32_t I = 0; I < Obj->Length; ++I)
+          if (Slots[I] && !Slots[I]->isMarked())
+            Worklist.push_back(Slots[I]);
+      }
+    }
+    return;
+  }
+
+  // Parallel tracing in rounds: workers grab batches of the shared
+  // frontier (root partitioning via an atomic cursor), trace into a local
+  // stack, and spill half of an overgrown stack to a shared overflow that
+  // seeds the next round — work stealing through the spill. tryMark is the
+  // claim: exactly one worker traces each object's children, and marks
+  // only ever go 0->1 during this phase, so the rounds terminate.
+  std::vector<ObjectHeader *> Frontier(std::move(Roots));
+  std::vector<ObjectHeader *> Overflow;
+  support::SpinLock OverflowLock;
+  while (!Frontier.empty()) {
+    std::atomic<size_t> Cursor{0};
+    runStriped(Workers, [&](size_t) {
+      std::vector<ObjectHeader *> Local;
+      for (;;) {
+        if (Local.empty()) {
+          size_t Begin =
+              Cursor.fetch_add(kMarkGrabBatch, std::memory_order_relaxed);
+          if (Begin >= Frontier.size())
+            break;
+          size_t End = std::min(Begin + kMarkGrabBatch, Frontier.size());
+          Local.insert(Local.end(), Frontier.begin() + Begin,
+                       Frontier.begin() + End);
+        }
+        while (!Local.empty()) {
+          ObjectHeader *Obj = Local.back();
+          Local.pop_back();
+          if (!Obj || !Obj->tryMark())
+            continue;
+          if (Obj->kind() == ObjectKind::RefArray) {
+            ObjectHeader **Slots = refArraySlots(Obj);
+            for (uint32_t I = 0; I < Obj->Length; ++I)
+              if (Slots[I] && !Slots[I]->isMarked())
+                Local.push_back(Slots[I]);
+          }
+          if (Local.size() > kMarkSpillThreshold) {
+            std::lock_guard<support::SpinLock> Guard(OverflowLock);
+            Overflow.insert(Overflow.end(),
+                            Local.begin() + Local.size() / 2, Local.end());
+            Local.resize(Local.size() / 2);
+          }
+        }
+      }
+    });
+    Frontier.clear();
+    Frontier.swap(Overflow);
+  }
+}
+
+void GcController::sweep(GcResult &Result) {
+  // Striped over disjoint bitmap segments; JavaHeap::free is thread-safe
+  // and each worker pushes reclaimed blocks onto its own free-list shard.
+  unsigned Stripes = Workers <= 1 ? 1 : Workers * 4;
+  std::atomic<uint64_t> FreedObjects{0}, FreedBytes{0};
+  runStriped(Stripes, [&](size_t Stripe) {
+    uint64_t Objects = 0, Bytes = 0;
+    RT.heap().forEachObjectShard(
+        static_cast<unsigned>(Stripe), Stripes, [&](ObjectHeader *Obj) {
+          if (Obj->isMarked() || Obj->pinCount() > 0)
+            return;
+          Bytes += Obj->SizeBytes;
+          ++Objects;
+          RT.heap().free(Obj);
+        });
+    FreedObjects.fetch_add(Objects, std::memory_order_relaxed);
+    FreedBytes.fetch_add(Bytes, std::memory_order_relaxed);
+  });
+  Result.ObjectsFreed += FreedObjects.load(std::memory_order_relaxed);
+  Result.BytesFreed += FreedBytes.load(std::memory_order_relaxed);
+}
+
 GcResult GcController::collect() {
   GcResult Result;
   // The collector is runtime-internal code: whatever thread drives it, its
   // heap walks use untagged pointers and must run with the configured TCO
   // (suppressed under correct §3.3 handling; the broken-configuration demo
   // sets SuppressTagChecks=false to reproduce the spurious faults).
+  // Parallel phase workers read only headers (mark/sweep never touch
+  // payloads), so they need no TCO setup of their own.
   mte::ScopedTco TcoForGc(Config.SuppressTagChecks);
   support::ScopedTrace Trace("GC.collect", "gc");
   GcMetrics &GM = gcMetrics();
   support::ScopedLatency CollectLatency(GM.CollectNanos);
   RT.beginPause();
+  GM.ParallelWorkers.set(Workers);
 
   // Mark phase: everything TRANSITIVELY reachable from handle-scope
   // roots; reference arrays are traced through their slots.
   uint64_t MarkStart = support::monotonicNanos();
   std::vector<ObjectHeader *> Roots = RT.snapshotRoots();
-  RT.heap().forEachObject([&](ObjectHeader *Obj) {
-    Obj->setMarked(false);
-    ++Result.ObjectsScanned;
-  });
-  std::vector<ObjectHeader *> Worklist(Roots.begin(), Roots.end());
-  while (!Worklist.empty()) {
-    ObjectHeader *Obj = Worklist.back();
-    Worklist.pop_back();
-    if (Obj->isMarked())
-      continue;
-    Obj->setMarked(true);
-    if (Obj->kind() == ObjectKind::RefArray) {
-      ObjectHeader **Slots = refArraySlots(Obj);
-      for (uint32_t I = 0; I < Obj->Length; ++I)
-        if (Slots[I] && !Slots[I]->isMarked())
-          Worklist.push_back(Slots[I]);
-    }
-  }
-
+  Result.ObjectsScanned = clearMarks();
+  markFromRoots(std::move(Roots));
   GM.MarkNanos.record(support::monotonicNanos() - MarkStart);
 
   // Sweep phase: free unmarked, unpinned objects.
   uint64_t SweepStart = support::monotonicNanos();
-  std::vector<ObjectHeader *> Dead;
-  RT.heap().forEachObject([&](ObjectHeader *Obj) {
-    if (!Obj->isMarked() && Obj->pinCount() == 0)
-      Dead.push_back(Obj);
-  });
-  for (ObjectHeader *Obj : Dead) {
-    Result.BytesFreed += Obj->SizeBytes;
-    RT.heap().free(Obj);
-    ++Result.ObjectsFreed;
-  }
+  sweep(Result);
   GM.SweepNanos.record(support::monotonicNanos() - SweepStart);
 
   // Compaction phase (mark-compact mode): slide survivors toward the
@@ -154,27 +271,30 @@ GcResult GcController::collect() {
     auto Moved = RT.heap().compact();
     Result.ObjectsMoved = Moved.size();
     RT.updateRootsAfterMove(Moved);
-    // Reference-array slots hold object pointers too: rewrite them.
-    if (!Moved.empty()) {
-      std::unordered_map<ObjectHeader *, ObjectHeader *> Map(Moved.begin(),
-                                                             Moved.end());
-      RT.heap().forEachObject([&](ObjectHeader *Obj) {
-        if (Obj->kind() != ObjectKind::RefArray)
-          return;
-        ObjectHeader **Slots = refArraySlots(Obj);
-        for (uint32_t I = 0; I < Obj->Length; ++I) {
-          auto It = Map.find(Slots[I]);
-          if (It != Map.end())
-            Slots[I] = It->second;
-        }
-      });
-    }
-    uint64_t Pinned = 0;
-    RT.heap().forEachObject([&](ObjectHeader *Obj) {
-      if (Obj->pinCount() > 0)
-        ++Pinned;
+    // Reference-array slots hold object pointers too: rewrite them. Each
+    // stripe owns disjoint objects, so the rewrites never race.
+    unsigned Stripes = Workers <= 1 ? 1 : Workers * 4;
+    std::atomic<uint64_t> Pinned{0};
+    std::unordered_map<ObjectHeader *, ObjectHeader *> Map(Moved.begin(),
+                                                           Moved.end());
+    runStriped(Stripes, [&](size_t Stripe) {
+      uint64_t LocalPinned = 0;
+      RT.heap().forEachObjectShard(
+          static_cast<unsigned>(Stripe), Stripes, [&](ObjectHeader *Obj) {
+            if (Obj->pinCount() > 0)
+              ++LocalPinned;
+            if (Map.empty() || Obj->kind() != ObjectKind::RefArray)
+              return;
+            ObjectHeader **Slots = refArraySlots(Obj);
+            for (uint32_t I = 0; I < Obj->Length; ++I) {
+              auto It = Map.find(Slots[I]);
+              if (It != Map.end())
+                Slots[I] = It->second;
+            }
+          });
+      Pinned.fetch_add(LocalPinned, std::memory_order_relaxed);
     });
-    Result.ObjectsPinnedInPlace = Pinned;
+    Result.ObjectsPinnedInPlace = Pinned.load(std::memory_order_relaxed);
   }
 
   // Optional verification pass (reads payloads with untagged pointers).

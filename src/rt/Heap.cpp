@@ -12,10 +12,36 @@
 #include "mte4jni/mte/Tag.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <vector>
 
 namespace mte4jni::rt {
+
+namespace {
+
+/// Allocation-pipeline composition: how often the TLAB bump wins, how often
+/// it refills, and how often an allocation bypasses it entirely (big
+/// objects, overflow-shard threads, TlabBytes=0). Free-list reuse is
+/// tracked in HeapStats (per heap); these are process-wide rates.
+struct HeapMetrics {
+  support::Counter &TlabHit = support::Metrics::counter("rt/heap/tlab_hit");
+  support::Counter &TlabRefill =
+      support::Metrics::counter("rt/heap/tlab_refill");
+  support::Counter &TlabFallback =
+      support::Metrics::counter("rt/heap/tlab_fallback");
+  support::Counter &FreeListSteal =
+      support::Metrics::counter("rt/heap/freelist_steal");
+  support::Gauge &BitmapBytes =
+      support::Metrics::gauge("rt/heap/bitmap_bytes");
+};
+
+HeapMetrics &heapMetrics() {
+  static HeapMetrics M;
+  return M;
+}
+
+} // namespace
 
 JavaHeap::JavaHeap(const HeapConfig &Config) : Config(Config) {
   M4J_ASSERT(Config.Alignment == 8 || Config.Alignment == 16,
@@ -28,6 +54,27 @@ JavaHeap::JavaHeap(const HeapConfig &Config) : Config(Config) {
   Storage.reset(new uint8_t[this->Config.CapacityBytes + mte::kGranuleSize]);
   Base = support::alignTo(reinterpret_cast<uint64_t>(Storage.get()),
                           mte::kGranuleSize);
+  AlignShift = Config.Alignment == 16 ? 4 : 3;
+
+  // One bit per alignment granule: 1/64th (align 8) or 1/128th (align 16)
+  // of the arena. Value-initialised to all-dead.
+  NumBitWords = ((this->Config.CapacityBytes >> AlignShift) + 63) / 64;
+  LiveBits.reset(new std::atomic<uint64_t>[NumBitWords]());
+  heapMetrics().BitmapBytes.set(static_cast<int64_t>(NumBitWords * 8));
+
+  Tlabs.reset(new Tlab[kNumShards]);
+  FreeShards.reset(new FreeShard[kNumShards]);
+  StatShards.reset(new StatShard[kNumShards]);
+
+  // Clamp the TLAB so tiny test heaps (4 KiB OOM fixtures) are not eaten
+  // by the first refill.
+  if (Config.Pipeline == AllocPipeline::Tlab && Config.TlabBytes != 0)
+    EffTlabBytes = support::alignTo(
+        std::min<uint64_t>(Config.TlabBytes,
+                           std::max<uint64_t>(this->Config.CapacityBytes / 16,
+                                              mte::kGranuleSize)),
+        Config.Alignment);
+
   if (Config.ProtMte)
     mte::MteSystem::instance().registerRegion(
         reinterpret_cast<void *>(Base), this->Config.CapacityBytes);
@@ -39,28 +86,127 @@ JavaHeap::~JavaHeap() {
         reinterpret_cast<void *>(Base));
 }
 
-ObjectHeader *JavaHeap::allocObject(uint32_t ClassWord, uint32_t Length,
-                                    uint64_t PayloadBytes) {
-  uint64_t Size = support::alignTo(sizeof(ObjectHeader) + PayloadBytes,
-                                   Config.Alignment);
-  if (Size > UINT32_MAX)
-    return nullptr;
+void JavaHeap::setLiveBit(uint64_t Addr, std::memory_order Order) {
+  uint64_t Idx = bitIndexOf(Addr);
+  LiveBits[Idx >> 6].fetch_or(uint64_t(1) << (Idx & 63), Order);
+}
 
-  std::lock_guard<std::mutex> Guard(Lock);
-  uint64_t Addr = 0;
-  auto It = FreeLists.find(Size);
-  if (It != FreeLists.end() && !It->second.empty()) {
-    Addr = It->second.back();
-    It->second.pop_back();
-    ++Stats.FreeListHits;
+void JavaHeap::clearLiveBit(uint64_t Addr) {
+  uint64_t Idx = bitIndexOf(Addr);
+  uint64_t Bit = uint64_t(1) << (Idx & 63);
+  uint64_t Prev = LiveBits[Idx >> 6].fetch_and(~Bit,
+                                               std::memory_order_acq_rel);
+  M4J_ASSERT(Prev & Bit, "freeing unknown object");
+  (void)Prev;
+}
+
+uint64_t JavaHeap::carveLocked(uint64_t Bytes) {
+  uint64_t Aligned = support::alignTo(
+      Base + BumpOffset.load(std::memory_order_relaxed), Config.Alignment);
+  if (Aligned + Bytes > Base + Config.CapacityBytes)
+    return 0;
+  BumpOffset.store((Aligned + Bytes) - Base, std::memory_order_release);
+  return Aligned;
+}
+
+uint64_t JavaHeap::takeFromShard(FreeShard &FS, uint64_t Size) {
+  std::lock_guard<support::SpinLock> Guard(FS.Lock);
+  if (FS.Count.load(std::memory_order_relaxed) == 0)
+    return 0;
+  std::vector<uint64_t> *List = nullptr;
+  uint64_t Class = Size >> AlignShift;
+  if (Class < kNumSmallClasses) {
+    if (!FS.Small[Class].empty())
+      List = &FS.Small[Class];
   } else {
-    uint64_t Aligned = support::alignTo(Base + BumpOffset, Config.Alignment);
-    if (Aligned + Size > Base + Config.CapacityBytes)
-      return nullptr; // OutOfMemoryError territory
-    Addr = Aligned;
-    BumpOffset = (Aligned + Size) - Base;
+    auto It = FS.Large.find(Size);
+    if (It != FS.Large.end() && !It->second.empty())
+      List = &It->second;
+  }
+  if (!List)
+    return 0;
+  uint64_t Addr = List->back();
+  List->pop_back();
+  FS.Count.fetch_sub(1, std::memory_order_relaxed);
+  return Addr;
+}
+
+void JavaHeap::pushToShard(FreeShard &FS, uint64_t Size, uint64_t Addr) {
+  std::lock_guard<support::SpinLock> Guard(FS.Lock);
+  uint64_t Class = Size >> AlignShift;
+  if (Class < kNumSmallClasses)
+    FS.Small[Class].push_back(Addr);
+  else
+    FS.Large[Size].push_back(Addr);
+  FS.Count.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t JavaHeap::allocSlow(uint64_t Size, unsigned Shard,
+                             bool &FreeListHit) {
+  // TLAB-worthy sizes refill the shard's buffer; big objects, TlabBytes=0
+  // and overflow-shard threads carve exactly what they need.
+  bool Refill = Shard != kOverflowShard && EffTlabBytes != 0 &&
+                Size * 4 <= EffTlabBytes;
+  if (Refill) {
+    uint64_t TlabStart = 0, TlabEnd = 0;
+    {
+      std::lock_guard<std::mutex> Guard(RefillLock);
+      uint64_t Aligned = support::alignTo(
+          Base + BumpOffset.load(std::memory_order_relaxed),
+          Config.Alignment);
+      uint64_t Limit = Base + Config.CapacityBytes;
+      uint64_t Avail = Aligned < Limit ? Limit - Aligned : 0;
+      uint64_t Take = std::min<uint64_t>(EffTlabBytes, Avail);
+      if (Take >= Size) {
+        BumpOffset.store((Aligned + Take) - Base, std::memory_order_release);
+        TlabStart = Aligned;
+        TlabEnd = Aligned + Take;
+      }
+    }
+    if (TlabStart) {
+      heapMetrics().TlabRefill.add();
+      // Bulk-scrub the whole buffer's colours in ONE st2g-style range
+      // write, so per-object tagging from this TLAB never pays a
+      // stale-tag cleanup (allocation-time tag cost amortises over the
+      // refill, cf. the batching result in PAPERS.md).
+      if (Config.TagOnAlloc)
+        mte::clearTagRange(TlabStart, TlabEnd - TlabStart);
+      Tlab &T = Tlabs[Shard];
+      T.Cur.store(TlabStart + Size, std::memory_order_relaxed);
+      T.End.store(TlabEnd, std::memory_order_relaxed);
+      return TlabStart;
+    }
+  } else {
+    uint64_t Addr;
+    {
+      std::lock_guard<std::mutex> Guard(RefillLock);
+      Addr = carveLocked(Size);
+    }
+    if (Addr) {
+      heapMetrics().TlabFallback.add();
+      return Addr;
+    }
   }
 
+  // Frontier exhausted: scavenge an exact-size block from ANY shard's free
+  // list before conceding OutOfMemoryError.
+  for (unsigned I = 0; I < kNumShards; ++I) {
+    unsigned Victim = (Shard + I) % kNumShards;
+    if (FreeShards[Victim].Count.load(std::memory_order_relaxed) == 0)
+      continue;
+    if (uint64_t Addr = takeFromShard(FreeShards[Victim], Size)) {
+      FreeListHit = true;
+      if (Victim != Shard)
+        heapMetrics().FreeListSteal.add();
+      return Addr;
+    }
+  }
+  return 0;
+}
+
+ObjectHeader *JavaHeap::finishAlloc(uint64_t Addr, uint32_t ClassWord,
+                                    uint32_t Length, uint64_t Size,
+                                    unsigned Shard, bool FreeListHit) {
   auto *Obj = reinterpret_cast<ObjectHeader *>(Addr);
   Obj->ClassWord = ClassWord;
   Obj->Length = Length;
@@ -69,18 +215,86 @@ ObjectHeader *JavaHeap::allocObject(uint32_t ClassWord, uint32_t Length,
   std::memset(Obj->data(), 0, Size - sizeof(ObjectHeader));
 
   // Tag-on-allocation ablation: colour the payload now, once, for the
-  // object's whole lifetime.
+  // object's whole lifetime. Lock-free under the Tlab pipeline: the block
+  // is thread-exclusive until the liveness bit below publishes it.
   if (Config.TagOnAlloc && Size > sizeof(ObjectHeader)) {
     auto Tagged = mte::irg(mte::TaggedPtr<void>::fromRaw(Obj->data(), 0));
     mte::setTagRange(Tagged, Size - sizeof(ObjectHeader));
   }
 
-  LiveObjects.insert(Obj);
-  Stats.BytesAllocated += Size;
-  Stats.BytesLive += Size;
-  ++Stats.ObjectsAllocated;
-  ++Stats.ObjectsLive;
+  // Publish: release so a lock-free isLiveObject/forEachObject that sees
+  // the bit also sees the initialised header.
+  setLiveBit(Addr, std::memory_order_release);
+
+  StatShard &St = StatShards[Shard];
+  statAdd(St.BytesAllocated, static_cast<int64_t>(Size), Shard);
+  statAdd(St.BytesLive, static_cast<int64_t>(Size), Shard);
+  statAdd(St.ObjectsAllocated, 1, Shard);
+  statAdd(St.ObjectsLive, 1, Shard);
+  if (FreeListHit)
+    statAdd(St.FreeListHits, 1, Shard);
   return Obj;
+}
+
+ObjectHeader *JavaHeap::allocObject(uint32_t ClassWord, uint32_t Length,
+                                    uint64_t PayloadBytes) {
+  uint64_t Size = support::alignTo(sizeof(ObjectHeader) + PayloadBytes,
+                                   Config.Alignment);
+  if (Size > UINT32_MAX)
+    return nullptr;
+
+  unsigned Shard = support::detail::metricShard();
+
+  if (M4J_UNLIKELY(Config.Pipeline == AllocPipeline::GlobalLock)) {
+    // Ablation baseline: the seed allocator's serialisation, data
+    // structures AND critical-section extent — one mutex held across the
+    // ordered free-list lookup, the std::set liveness insert, header
+    // init, the payload memset and the TagOnAlloc colouring.
+    std::lock_guard<std::mutex> Guard(RefillLock);
+    uint64_t Addr = 0;
+    bool FreeListHit = false;
+    auto It = SeedFree.find(Size);
+    if (It != SeedFree.end() && !It->second.empty()) {
+      Addr = It->second.back();
+      It->second.pop_back();
+      FreeListHit = true;
+    } else {
+      Addr = carveLocked(Size);
+    }
+    if (!Addr)
+      return nullptr; // OutOfMemoryError territory
+    SeedLive.insert(Addr);
+    return finishAlloc(Addr, ClassWord, Length, Size, Shard, FreeListHit);
+  }
+
+  // Fast path: same-size reuse from the home shard (kept ahead of the
+  // TLAB so a free-then-realloc round trip returns the same address,
+  // like the seed allocator), then the TLAB bump. The reuse check is
+  // one relaxed load when the shard is empty.
+  uint64_t Addr = 0;
+  bool FreeListHit = false;
+  FreeShard &FS = FreeShards[Shard];
+  if (M4J_UNLIKELY(FS.Count.load(std::memory_order_relaxed) != 0)) {
+    Addr = takeFromShard(FS, Size);
+    FreeListHit = Addr != 0;
+  }
+  if (!Addr) {
+    if (M4J_LIKELY(Shard != kOverflowShard)) {
+      Tlab &T = Tlabs[Shard];
+      uint64_t Cur = T.Cur.load(std::memory_order_relaxed);
+      uint64_t End = T.End.load(std::memory_order_relaxed);
+      if (M4J_LIKELY(Cur != 0 && Size <= End - Cur)) {
+        T.Cur.store(Cur + Size, std::memory_order_relaxed);
+        Addr = Cur;
+        heapMetrics().TlabHit.add();
+      }
+    }
+    if (!Addr)
+      Addr = allocSlow(Size, Shard, FreeListHit);
+  }
+  if (!Addr)
+    return nullptr; // OutOfMemoryError territory
+  return finishAlloc(Addr, ClassWord, Length, Size, Shard, FreeListHit);
 }
 
 ObjectHeader *JavaHeap::allocPrimArray(PrimType Elem, uint32_t Length) {
@@ -100,29 +314,75 @@ ObjectHeader *JavaHeap::allocRefArray(uint32_t Length) {
 }
 
 void JavaHeap::free(ObjectHeader *Obj) {
-  std::lock_guard<std::mutex> Guard(Lock);
-  auto It = LiveObjects.find(Obj);
-  M4J_ASSERT(It != LiveObjects.end(), "freeing unknown object");
-  LiveObjects.erase(It);
+  uint64_t Addr = reinterpret_cast<uint64_t>(Obj);
+  M4J_ASSERT(contains(Obj) && (Addr & (Config.Alignment - 1)) == 0,
+             "freeing unknown object");
+  unsigned Shard = support::detail::metricShard();
+
+  if (M4J_UNLIKELY(Config.Pipeline == AllocPipeline::GlobalLock)) {
+    // Seed fidelity: one mutex across the liveness-set find/erase, stats,
+    // tag clear, poison and the free-list map push.
+    std::lock_guard<std::mutex> Guard(RefillLock);
+    auto It = SeedLive.find(Addr);
+    M4J_ASSERT(It != SeedLive.end(), "freeing unknown object");
+    SeedLive.erase(It);
+    clearLiveBit(Addr);
+    uint64_t Size = Obj->SizeBytes;
+    StatShard &St = StatShards[Shard];
+    statAdd(St.BytesLive, -static_cast<int64_t>(Size), Shard);
+    statAdd(St.ObjectsLive, -1, Shard);
+    statAdd(St.ObjectsFreed, 1, Shard);
+    if (Config.TagOnAlloc && Size > sizeof(ObjectHeader))
+      mte::clearTagRange(Obj->dataAddress(), Size - sizeof(ObjectHeader));
+    Obj->ClassWord = 0xDEADDEAD;
+    SeedFree[Size].push_back(Addr);
+    return;
+  }
+
+  // Unpublish first: a lock-free isLiveObject never observes a poisoned
+  // live object. Also asserts the bit was set (double-free detector).
+  clearLiveBit(Addr);
+
   uint64_t Size = Obj->SizeBytes;
-  Stats.BytesLive -= Size;
-  --Stats.ObjectsLive;
-  ++Stats.ObjectsFreed;
+  StatShard &St = StatShards[Shard];
+  statAdd(St.BytesLive, -static_cast<int64_t>(Size), Shard);
+  statAdd(St.ObjectsLive, -1, Shard);
+  statAdd(St.ObjectsFreed, 1, Shard);
+
   if (Config.TagOnAlloc && Size > sizeof(ObjectHeader))
     mte::clearTagRange(Obj->dataAddress(), Size - sizeof(ObjectHeader));
   // Poison the header so stale references are recognisable in tests.
   Obj->ClassWord = 0xDEADDEAD;
-  FreeLists[Size].push_back(reinterpret_cast<uint64_t>(Obj));
+
+  // The freeing thread's shard: GC sweep workers spread reclaimed blocks
+  // across their own shards, mutators keep same-thread reuse local.
+  pushToShard(FreeShards[Shard], Size, Addr);
 }
 
 std::vector<std::pair<ObjectHeader *, ObjectHeader *>> JavaHeap::compact() {
-  std::lock_guard<std::mutex> Guard(Lock);
+  // The world is paused (no mutator bumps its TLAB, no concurrent free);
+  // the refill lock still serialises against stray direct allocations.
+  std::lock_guard<std::mutex> Guard(RefillLock);
 
-  // Live objects in address order.
-  std::vector<ObjectHeader *> Sorted(LiveObjects.begin(), LiveObjects.end());
-  std::sort(Sorted.begin(), Sorted.end());
+  uint64_t OldFrontier = BumpOffset.load(std::memory_order_relaxed);
+  uint64_t WordEnd =
+      std::min<uint64_t>(NumBitWords, ((OldFrontier >> AlignShift) + 63) / 64);
+
+  // Live objects in address order — the bitmap walk is naturally sorted.
+  std::vector<ObjectHeader *> Sorted;
+  for (uint64_t W = 0; W < WordEnd; ++W) {
+    uint64_t Bits = LiveBits[W].load(std::memory_order_relaxed);
+    while (Bits) {
+      unsigned B = static_cast<unsigned>(std::countr_zero(Bits));
+      Bits &= Bits - 1;
+      Sorted.push_back(reinterpret_cast<ObjectHeader *>(
+          Base + (((W << 6) + B) << AlignShift)));
+    }
+  }
 
   std::vector<std::pair<ObjectHeader *, ObjectHeader *>> Moved;
+  std::vector<ObjectHeader *> Final;
+  Final.reserve(Sorted.size());
   uint64_t Cursor = Base;
   for (ObjectHeader *Obj : Sorted) {
     uint64_t Size = Obj->SizeBytes;
@@ -131,51 +391,131 @@ std::vector<std::pair<ObjectHeader *, ObjectHeader *>> JavaHeap::compact() {
       // The compaction cursor jumps over it.
       Cursor = std::max(Cursor,
                         reinterpret_cast<uint64_t>(Obj) + Size);
+      Final.push_back(Obj);
       continue;
     }
     uint64_t Target = support::alignTo(Cursor, Config.Alignment);
     if (Target >= reinterpret_cast<uint64_t>(Obj)) {
       // Already packed (or a pinned object blocks any gain).
       Cursor = reinterpret_cast<uint64_t>(Obj) + Size;
+      Final.push_back(Obj);
       continue;
     }
+    // Under TagOnAlloc the allocation colour must travel with the payload:
+    // read it before the slide, erase the old granules, repaint the new
+    // payload (the header granule stays tag 0). Slide targets never
+    // overlap a later source, so the erase cannot hit the new location of
+    // a previously moved object.
+    mte::TagValue Tag = 0;
+    bool HasPayload = Size > sizeof(ObjectHeader);
+    if (Config.TagOnAlloc && HasPayload)
+      Tag = mte::ldgTag(Obj->dataAddress());
     std::memmove(reinterpret_cast<void *>(Target), Obj, Size);
     auto *NewObj = reinterpret_cast<ObjectHeader *>(Target);
+    if (Config.TagOnAlloc && HasPayload) {
+      mte::clearTagRange(reinterpret_cast<uint64_t>(Obj), Size);
+      mte::setTagRange(
+          mte::TaggedPtr<void>::fromRaw(NewObj->data(), Tag),
+          Size - sizeof(ObjectHeader));
+    }
     Moved.emplace_back(Obj, NewObj);
+    Final.push_back(NewObj);
     Cursor = Target + Size;
   }
 
-  // Rebuild the liveness index and reset the allocation frontier: all
-  // fragmentation is gone, so the free lists die too.
-  for (auto &[Old, New] : Moved) {
-    LiveObjects.erase(Old);
-    LiveObjects.insert(New);
-  }
-  // The frontier is one past the highest live byte.
+  // Rebuild the liveness bitmap and reset the allocation frontier: all
+  // fragmentation is gone, so the free lists and outstanding TLABs die
+  // too (the carved-but-unbumped tail of a TLAB would otherwise alias
+  // memory handed out again below the new frontier).
+  for (uint64_t W = 0; W < WordEnd; ++W)
+    LiveBits[W].store(0, std::memory_order_relaxed);
   uint64_t Frontier = Base;
-  for (ObjectHeader *Obj : LiveObjects)
+  for (ObjectHeader *Obj : Final) {
+    setLiveBit(reinterpret_cast<uint64_t>(Obj), std::memory_order_relaxed);
     Frontier = std::max(Frontier,
                         reinterpret_cast<uint64_t>(Obj) + Obj->SizeBytes);
-  BumpOffset = Frontier - Base;
-  FreeLists.clear();
+  }
+  BumpOffset.store(Frontier - Base, std::memory_order_release);
+  for (unsigned I = 0; I < kNumShards; ++I) {
+    FreeShard &FS = FreeShards[I];
+    std::lock_guard<support::SpinLock> FsGuard(FS.Lock);
+    for (auto &List : FS.Small)
+      List.clear();
+    FS.Large.clear();
+    FS.Count.store(0, std::memory_order_relaxed);
+    Tlabs[I].Cur.store(0, std::memory_order_relaxed);
+    Tlabs[I].End.store(0, std::memory_order_relaxed);
+  }
+  if (Config.Pipeline == AllocPipeline::GlobalLock) {
+    SeedFree.clear();
+    SeedLive.clear();
+    for (ObjectHeader *Obj : Final)
+      SeedLive.insert(reinterpret_cast<uint64_t>(Obj));
+  }
   return Moved;
+}
+
+void JavaHeap::forEachObjectShard(
+    unsigned Stripe, unsigned NumStripes,
+    const std::function<void(ObjectHeader *)> &Fn) {
+  // Lock-free: bound the walk by the frontier, snapshot one word at a
+  // time. The callback runs with no heap lock held, so it may allocate
+  // and free (including the object it was handed).
+  uint64_t Frontier = BumpOffset.load(std::memory_order_acquire);
+  uint64_t WordEnd =
+      std::min<uint64_t>(NumBitWords, ((Frontier >> AlignShift) + 63) / 64);
+  uint64_t PerStripe = (WordEnd + NumStripes - 1) / NumStripes;
+  uint64_t Lo = std::min<uint64_t>(WordEnd, uint64_t(Stripe) * PerStripe);
+  uint64_t Hi = std::min<uint64_t>(WordEnd, Lo + PerStripe);
+  for (uint64_t W = Lo; W < Hi; ++W) {
+    uint64_t Bits = LiveBits[W].load(std::memory_order_acquire);
+    while (Bits) {
+      unsigned B = static_cast<unsigned>(std::countr_zero(Bits));
+      Bits &= Bits - 1;
+      Fn(reinterpret_cast<ObjectHeader *>(Base +
+                                          (((W << 6) + B) << AlignShift)));
+    }
+  }
 }
 
 void JavaHeap::forEachObject(
     const std::function<void(ObjectHeader *)> &Fn) {
-  std::lock_guard<std::mutex> Guard(Lock);
-  for (ObjectHeader *Obj : LiveObjects)
-    Fn(Obj);
+  forEachObjectShard(0, 1, Fn);
 }
 
 bool JavaHeap::isLiveObject(ObjectHeader *Ptr) const {
-  std::lock_guard<std::mutex> Guard(Lock);
-  return LiveObjects.count(Ptr) != 0;
+  uint64_t Addr = reinterpret_cast<uint64_t>(Ptr);
+  if (Addr < Base || Addr >= Base + Config.CapacityBytes ||
+      (Addr & (Config.Alignment - 1)) != 0)
+    return false;
+  uint64_t Idx = bitIndexOf(Addr);
+  return (LiveBits[Idx >> 6].load(std::memory_order_acquire) >>
+          (Idx & 63)) &
+         1;
 }
 
 HeapStats JavaHeap::stats() const {
-  std::lock_guard<std::mutex> Guard(Lock);
-  return Stats;
+  // Sum the shards: exact once writers are quiescent (same contract as the
+  // metrics registry).
+  int64_t BytesAllocated = 0, BytesLive = 0, ObjectsAllocated = 0,
+          ObjectsLive = 0, ObjectsFreed = 0, FreeListHits = 0;
+  for (unsigned I = 0; I < kNumShards; ++I) {
+    const StatShard &St = StatShards[I];
+    BytesAllocated += St.BytesAllocated.load(std::memory_order_relaxed);
+    BytesLive += St.BytesLive.load(std::memory_order_relaxed);
+    ObjectsAllocated += St.ObjectsAllocated.load(std::memory_order_relaxed);
+    ObjectsLive += St.ObjectsLive.load(std::memory_order_relaxed);
+    ObjectsFreed += St.ObjectsFreed.load(std::memory_order_relaxed);
+    FreeListHits += St.FreeListHits.load(std::memory_order_relaxed);
+  }
+  HeapStats S;
+  S.BytesAllocated = static_cast<uint64_t>(BytesAllocated);
+  S.BytesLive = static_cast<uint64_t>(BytesLive);
+  S.ObjectsAllocated = static_cast<uint64_t>(ObjectsAllocated);
+  S.ObjectsLive = static_cast<uint64_t>(ObjectsLive);
+  S.ObjectsFreed = static_cast<uint64_t>(ObjectsFreed);
+  S.FreeListHits = static_cast<uint64_t>(FreeListHits);
+  return S;
 }
 
 } // namespace mte4jni::rt

@@ -27,10 +27,6 @@ Runtime *Runtime::currentOrNull() { return LiveRuntime; }
 Runtime::Runtime(const RuntimeConfig &Config) : Config(Config) {
   M4J_ASSERT(LiveRuntime == nullptr,
              "only one Runtime may be live at a time");
-  M4J_ASSERT(!(Config.Heap.TagOnAlloc &&
-               Config.Gc.Mode == GcMode::Compacting),
-             "TagOnAlloc is incompatible with the compacting GC "
-             "(allocation tags do not move with objects)");
 
   // Configure the process-wide MTE simulator for this scheme, like an app
   // process would at startup: reset, seed, prctl(TCF mode).
