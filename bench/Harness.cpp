@@ -8,9 +8,17 @@
 #include "Harness.h"
 
 #include "mte4jni/support/ThreadPool.h"
+#include "mte4jni/support/TraceRing.h"
 
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+
+/// Injected by the build (git rev-parse --short HEAD); "unknown" outside a
+/// git checkout so report consumers can always rely on the field existing.
+#ifndef M4J_GIT_SHA
+#define M4J_GIT_SHA "unknown"
+#endif
 
 namespace mte4jni::bench {
 
@@ -42,14 +50,24 @@ BenchOptions BenchOptions::parse(int Argc, char **Argv) {
         std::exit(2);
       }
       Options.JsonPath = Argv[++I];
+    } else if (support::startsWith(Arg, "--trace=")) {
+      Options.TracePath = std::string(Arg.substr(8));
+    } else if (Arg == "--trace") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "--trace requires a path (try --help)\n");
+        std::exit(2);
+      }
+      Options.TracePath = Argv[++I];
     } else if (Arg == "--help" || Arg == "-h") {
       std::printf(
           "usage: %s [--paper] [--quick] [--threads=N] [--iters=N] "
-          "[--seed=N] [--json <path>]\n"
+          "[--seed=N] [--json <path>] [--trace <path>]\n"
           "  --paper        full paper-scale parameters (slow)\n"
           "  --quick        smoke-test sizes\n"
           "  --json <path>  write a machine-readable report (timings +\n"
-          "                 metrics snapshot) to <path>\n",
+          "                 metrics snapshot) to <path>\n"
+          "  --trace <path> write the flight-recorder timeline as Chrome\n"
+          "                 trace-event JSON (chrome://tracing, Perfetto)\n",
           Argv[0]);
       std::exit(0);
     } else if (support::startsWith(Arg, "--")) {
@@ -138,8 +156,17 @@ void BenchReport::addRow(std::string Name, double Value, std::string Unit,
 }
 
 std::string BenchReport::toJson() const {
+  // Report provenance: schema_version gates downstream parsers (m4jstat,
+  // CI trend scripts), git_sha + UTC timestamp pin the run to a commit.
+  char Stamp[32] = "unknown";
+  std::time_t Now = std::time(nullptr);
+  struct std::tm Utc;
+  if (gmtime_r(&Now, &Utc) != nullptr)
+    std::strftime(Stamp, sizeof(Stamp), "%Y-%m-%dT%H:%M:%SZ", &Utc);
   std::string Out = support::format(
-      "{\n\"bench\": \"%s\",\n\"results\": [",
+      "{\n\"schema_version\": 1,\n\"git_sha\": \"%s\",\n"
+      "\"timestamp_utc\": \"%s\",\n\"bench\": \"%s\",\n\"results\": [",
+      support::jsonEscape(M4J_GIT_SHA).c_str(), Stamp,
       support::jsonEscape(BenchName).c_str());
   bool First = true;
   for (const Row &R : Rows) {
@@ -167,13 +194,28 @@ bool BenchReport::write(const std::string &Path) const {
 }
 
 void BenchReport::writeIfRequested(const BenchOptions &Options) const {
-  if (Options.JsonPath.empty())
-    return;
-  if (write(Options.JsonPath))
-    std::printf("wrote %s (%zu result rows + metrics snapshot)\n",
-                Options.JsonPath.c_str(), Rows.size());
-  else
-    std::fprintf(stderr, "failed to write %s\n", Options.JsonPath.c_str());
+  if (!Options.JsonPath.empty()) {
+    if (write(Options.JsonPath))
+      std::printf("wrote %s (%zu result rows + metrics snapshot)\n",
+                  Options.JsonPath.c_str(), Rows.size());
+    else
+      std::fprintf(stderr, "failed to write %s\n", Options.JsonPath.c_str());
+  }
+  if (!Options.TracePath.empty()) {
+    std::string Trace = support::FlightRecorder::exportChromeJson();
+    std::FILE *F = std::fopen(Options.TracePath.c_str(), "w");
+    bool Ok = F != nullptr;
+    if (F) {
+      Ok = std::fwrite(Trace.data(), 1, Trace.size(), F) == Trace.size();
+      Ok = (std::fclose(F) == 0) && Ok;
+    }
+    if (Ok)
+      std::printf("wrote %s (%llu flight events)\n", Options.TracePath.c_str(),
+                  static_cast<unsigned long long>(
+                      support::FlightRecorder::eventCount()));
+    else
+      std::fprintf(stderr, "failed to write %s\n", Options.TracePath.c_str());
+  }
 }
 
 } // namespace mte4jni::bench

@@ -39,6 +39,10 @@ struct BenchOptions {
   /// When non-empty: write a machine-readable BENCH_<name>.json report
   /// (timing rows + embedded metrics snapshot) to this path.
   std::string JsonPath;
+  /// When non-empty: write the flight-recorder timeline (Chrome
+  /// trace-event JSON, chrome://tracing / Perfetto loadable) to this path
+  /// at the end of the run.
+  std::string TracePath;
 
   /// Bench-specific "--name" flags that the common parser did not consume.
   std::vector<std::string> ExtraFlags;

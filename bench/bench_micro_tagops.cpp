@@ -24,6 +24,7 @@
 #include "mte4jni/mte/Instructions.h"
 #include "mte4jni/mte/MteSystem.h"
 #include "mte4jni/mte/TaggedArena.h"
+#include "mte4jni/support/TraceRing.h"
 
 #include <benchmark/benchmark.h>
 
@@ -191,6 +192,30 @@ BENCHMARK_TEMPLATE(BM_AcquireRelease, core::LockScheme::TwoTier)
     ->Range(64, 16 << 10);
 BENCHMARK_TEMPLATE(BM_AcquireRelease, core::LockScheme::GlobalLock)
     ->Range(64, 16 << 10);
+
+/// Observability-overhead acceptance rows: the identical lock-free round
+/// trip with the flight recorder off vs the default ~1/64 sampling. The
+/// delta between the two is the full instrumentation cost on the hottest
+/// attributed path (slow-reason classification + SampledLatency + flight
+/// ring); the budget is <3%.
+template <unsigned Level>
+void BM_AcquireReleaseObsLevel(benchmark::State &State) {
+  unsigned Saved = support::obs::level();
+  support::obs::setLevel(Level);
+  core::TagAllocator Alloc(core::TagTableKind::LockFree);
+  void *Buf = arena().allocate(4096);
+  uint64_t Begin = reinterpret_cast<uint64_t>(Buf);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Alloc.acquire(Begin, Begin + 4096));
+    Alloc.release(Begin, Begin + 4096);
+  }
+  arena().deallocate(Buf);
+  support::obs::setLevel(Saved);
+}
+BENCHMARK_TEMPLATE(BM_AcquireReleaseObsLevel, 0)
+    ->Name("BM_AcquireReleaseObsOff");
+BENCHMARK_TEMPLATE(BM_AcquireReleaseObsLevel, 1)
+    ->Name("BM_AcquireReleaseObsSampled");
 
 /// Lock-free round trip with the slot hint the JNI pin record caches: the
 /// acquire hands back the resolved Slot*, the release consumes it — the

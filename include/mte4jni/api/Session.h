@@ -40,6 +40,7 @@
 #include "mte4jni/rt/Runtime.h"
 #include "mte4jni/rt/Trampoline.h"
 #include "mte4jni/support/Metrics.h"
+#include "mte4jni/support/TraceRing.h"
 
 #include <memory>
 #include <string>
@@ -91,6 +92,12 @@ struct SessionConfig {
   /// ablation baseline.
   unsigned GcParallelism = 0;
 
+  /// Flight-recorder capture mode (process-wide; the constructor applies
+  /// it via support::obs::setMode). Sampled keeps hot-path events at ~1/64
+  /// with negligible overhead; Full records every event for trace exports;
+  /// Off compiles down to one relaxed load per instrumented site.
+  support::FlightMode TraceMode = support::FlightMode::Sampled;
+
   uint64_t Seed = 1;
 };
 
@@ -135,6 +142,11 @@ public:
   /// leaves no partial file behind on open failure) when the file cannot
   /// be written.
   bool writeMetricsJson(const std::string &Path) const;
+
+  /// Writes support::FlightRecorder::exportChromeJson() to \p Path — a
+  /// Chrome trace-event / Perfetto-loadable timeline of every thread's
+  /// flight ring. Same failure contract as writeMetricsJson.
+  bool writeTraceJson(const std::string &Path) const;
 
 private:
   SessionConfig Config;

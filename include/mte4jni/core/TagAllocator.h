@@ -39,6 +39,7 @@
 
 #include "mte4jni/core/TagTable.h"
 #include "mte4jni/mte/TaggedPtr.h"
+#include "mte4jni/support/TraceRing.h"
 
 #include <atomic>
 #include <mutex>
@@ -121,8 +122,10 @@ private:
   uint64_t acquireTwoTier(uint64_t Begin, uint64_t End);
   void releaseTwoTier(uint64_t Begin, uint64_t End);
   uint64_t acquireLockFreeSlow(uint64_t Begin, uint64_t End,
-                               TagTable::Slot **CacheOut);
-  void releaseLockFreeSlow(uint64_t Begin, uint64_t End);
+                               TagTable::Slot **CacheOut,
+                               support::FlightScope &Flight);
+  void releaseLockFreeSlow(uint64_t Begin, uint64_t End,
+                           support::FlightScope &Flight);
 
   /// The first-holder tag work: IRG (with the optional adjacent-granule
   /// exclusion) + ST2G/STG over [Begin, End).

@@ -204,8 +204,11 @@ public:
 
   // ==== lock-free slow path (caller holds the shard mutex) ===============
 
-  /// Locks the shard \p Begin hashes to.
-  std::unique_lock<std::mutex> lockShard(uint64_t Begin);
+  /// Locks the shard \p Begin hashes to. When \p Contended is non-null it
+  /// is set to true iff the mutex was already held and the lock had to
+  /// block — the slow-reason attribution's shard_contended signal.
+  std::unique_lock<std::mutex> lockShard(uint64_t Begin,
+                                         bool *Contended = nullptr);
 
   /// Finds (and with \p Create, claims) the slot for \p Begin. Requires
   /// \p Lock to hold the shard mutex. Null when the key lives in — or,

@@ -52,6 +52,11 @@ uint64_t scanMismatchSwar(const uint8_t *Tags, uint64_t Count,
 /// build enabled it and the CPU has it) > SSE2 > SWAR.
 uint64_t scanMismatch(const uint8_t *Tags, uint64_t Count, TagValue Expected);
 
+/// Which kernel scanMismatch dispatches to for \p Count granules:
+/// 0 = scalar, 1 = SWAR, 2 = SSE2, 3 = AVX2. Flight-recorder attribution
+/// records this next to each sampled range check.
+unsigned scanKernelFor(uint64_t Count);
+
 } // namespace detail
 
 /// Shadow tags for one contiguous registered (PROT_MTE) region.

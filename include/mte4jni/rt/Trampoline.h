@@ -26,6 +26,7 @@
 #include "mte4jni/rt/JavaThread.h"
 #include "mte4jni/rt/Runtime.h"
 #include "mte4jni/support/Backtrace.h"
+#include "mte4jni/support/TraceRing.h"
 
 #include <type_traits>
 #include <utility>
@@ -82,6 +83,8 @@ template <typename Fn>
 auto callNative(JavaThread &Thread, NativeKind Kind, const char *MethodName,
                 Fn &&Body) -> decltype(Body()) {
   const bool WantTagChecks = Thread.runtime().config().TagChecksInNative;
+  support::FlightScope Crossing(support::FlightKind::JniCrossing,
+                                static_cast<uint8_t>(Kind));
   switch (Kind) {
   case NativeKind::Regular: {
     support::ScopedFrame Tramp("art_quick_generic_jni_trampoline",

@@ -166,15 +166,33 @@ public:
                     std::memory_order_relaxed);
       S.Sum.store(S.Sum.load(std::memory_order_relaxed) + Value,
                   std::memory_order_relaxed);
+      if (Value < S.Min.load(std::memory_order_relaxed))
+        S.Min.store(Value, std::memory_order_relaxed);
+      if (Value > S.Max.load(std::memory_order_relaxed))
+        S.Max.store(Value, std::memory_order_relaxed);
     } else {
       B.fetch_add(1, std::memory_order_relaxed);
       S.Count.fetch_add(1, std::memory_order_relaxed);
       S.Sum.fetch_add(Value, std::memory_order_relaxed);
+      // Shared overflow cell: CAS loops keep min/max exact under races.
+      uint64_t Cur = S.Min.load(std::memory_order_relaxed);
+      while (Value < Cur &&
+             !S.Min.compare_exchange_weak(Cur, Value,
+                                          std::memory_order_relaxed))
+        ;
+      Cur = S.Max.load(std::memory_order_relaxed);
+      while (Value > Cur &&
+             !S.Max.compare_exchange_weak(Cur, Value,
+                                          std::memory_order_relaxed))
+        ;
     }
   }
 
   uint64_t count() const;
   uint64_t sum() const;
+  /// Smallest / largest value ever recorded; both 0 when empty.
+  uint64_t minValue() const;
+  uint64_t maxValue() const;
   void reset();
 
   /// Aggregated buckets (index = bit width, see bucketOf).
@@ -185,6 +203,8 @@ private:
     std::atomic<uint64_t> Buckets[kBuckets] = {};
     std::atomic<uint64_t> Count{0};
     std::atomic<uint64_t> Sum{0};
+    std::atomic<uint64_t> Min{UINT64_MAX};
+    std::atomic<uint64_t> Max{0};
   };
   Shard Shards[kMetricCells];
 };
@@ -262,6 +282,8 @@ struct HistogramSample {
   std::string Name;
   uint64_t Count = 0;
   uint64_t Sum = 0;
+  uint64_t Min = 0; ///< exact smallest recorded value (0 when empty)
+  uint64_t Max = 0; ///< exact largest recorded value (0 when empty)
   std::array<uint64_t, Histogram::kBuckets> Buckets = {};
 
   double mean() const { return Count ? double(Sum) / double(Count) : 0.0; }

@@ -27,8 +27,11 @@ namespace mte4jni::support {
 
 class ThreadPool {
 public:
-  /// Creates \p NumThreads workers (at least 1).
-  explicit ThreadPool(size_t NumThreads);
+  /// Creates \p NumThreads workers (at least 1). When \p LabelPrefix is
+  /// non-null each worker names its flight-recorder lane
+  /// "<prefix>-<index>" so exported traces show e.g. gc-worker-0..N
+  /// instead of anonymous tids.
+  explicit ThreadPool(size_t NumThreads, const char *LabelPrefix = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool &) = delete;
@@ -51,7 +54,7 @@ public:
   void parallelFor(size_t Count, const std::function<void(size_t)> &Body);
 
 private:
-  void workerLoop();
+  void workerLoop(size_t Index, const char *LabelPrefix);
 
   std::vector<std::thread> Workers;
   std::queue<std::function<void()>> Queue;

@@ -77,14 +77,20 @@ private:
 
 /// RAII slice: records [ctor, dtor) when tracing is enabled. Name and
 /// category must be string literals (stored by pointer).
+///
+/// The enabled check is captured ONCE at construction — an explicit bool,
+/// not "StartMicros != 0". Using the timestamp as the sentinel means an
+/// enable/disable race mid-scope (or a clock that legitimately reads 0)
+/// can record a slice whose StartMicros is 0, which exports as a slice
+/// starting at the epoch with an absurd duration.
 class ScopedTrace {
 public:
   ScopedTrace(const char *Name, const char *Category)
-      : Name(Name), Category(Category),
-        StartMicros(TraceRecorder::enabled() ? nowMicros() : 0) {}
+      : Name(Name), Category(Category), Enabled(TraceRecorder::enabled()),
+        StartMicros(Enabled ? nowMicros() : 0) {}
 
   ~ScopedTrace() {
-    if (StartMicros != 0)
+    if (Enabled)
       TraceRecorder::recordSlice(Name, Category, StartMicros,
                                  nowMicros() - StartMicros);
   }
@@ -97,6 +103,7 @@ public:
 private:
   const char *Name;
   const char *Category;
+  bool Enabled;
   uint64_t StartMicros;
 };
 

@@ -32,6 +32,10 @@ const char *schemeName(Scheme S) {
 }
 
 Session::Session(const SessionConfig &Config) : Config(Config) {
+  // Process-wide like the metrics registry: the last-constructed session's
+  // mode wins, which is what the single-session tools and benches expect.
+  support::obs::setMode(Config.TraceMode);
+
   const bool IsMte = Config.Protection == Scheme::Mte4JniSync ||
                      Config.Protection == Scheme::Mte4JniAsync ||
                      Config.Protection == Scheme::TagOnAllocSync;
@@ -171,6 +175,16 @@ support::MetricsSnapshot Session::metricsSnapshot() const {
 
 bool Session::writeMetricsJson(const std::string &Path) const {
   std::string Json = metricsSnapshot().toJson();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+  bool Ok = std::fclose(F) == 0 && Written == Json.size();
+  return Ok;
+}
+
+bool Session::writeTraceJson(const std::string &Path) const {
+  std::string Json = support::FlightRecorder::exportChromeJson();
   std::FILE *F = std::fopen(Path.c_str(), "w");
   if (!F)
     return false;

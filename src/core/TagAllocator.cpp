@@ -11,6 +11,9 @@
 #include "mte4jni/support/MathExtras.h"
 #include "mte4jni/support/Metrics.h"
 #include "mte4jni/support/TraceEvents.h"
+#include "mte4jni/support/TraceRing.h"
+
+#include <array>
 
 namespace mte4jni::core {
 
@@ -87,6 +90,74 @@ AllocMetrics &allocMetrics() {
   return M;
 }
 
+/// One counter per TagSlowReason, "core/tagtable/slow_reason/<name>".
+/// These attribute every lock-free slow-path entry to a cause — the
+/// instrument behind the ROADMAP's acquire_fast = 0 question: a
+/// single-holder Get/Release round trip is a 0->1 acquire and a 1->0
+/// release, and both transitions must serialise on the shard mutex by
+/// design, so first_holder + last_holder dominate whenever objects are
+/// pinned by one thread at a time.
+struct SlowReasonMetrics {
+  std::array<support::Counter *,
+             size_t(support::TagSlowReason::kNumReasons)>
+      Reasons;
+  SlowReasonMetrics() {
+    for (size_t I = 0; I < Reasons.size(); ++I) {
+      std::string Name = std::string("core/tagtable/slow_reason/") +
+                         support::tagSlowReasonName(
+                             static_cast<support::TagSlowReason>(I));
+      Reasons[I] = &support::Metrics::counter(Name.c_str());
+    }
+  }
+};
+
+SlowReasonMetrics &slowReasonMetrics() {
+  static SlowReasonMetrics M;
+  return M;
+}
+
+/// Counts \p Reason and stamps it into the flight slice's outcome byte
+/// (offset by 1; 0 means fast). Secondary signals (shard_contended,
+/// pin_cache_miss) are counted without touching the slice so the exported
+/// outcome stays the primary entry reason.
+void countSlowReason(support::TagSlowReason Reason,
+                     support::FlightScope *Flight = nullptr) {
+  slowReasonMetrics().Reasons[size_t(Reason)]->add();
+  if (Flight != nullptr)
+    Flight->setArg(static_cast<uint8_t>(Reason) + 1);
+}
+
+/// Why did the acquire fast path fail? Re-probes without locks; the
+/// observation is racy but statistically faithful — attribution counters
+/// are about distributions, not per-op exactness.
+support::TagSlowReason classifyAcquireSlow(core::TagTable &Table,
+                                           uint64_t Begin) {
+  core::TagTable::Slot *S = Table.probeSlot(Begin);
+  if (S == nullptr)
+    return support::TagSlowReason::SlotCold;
+  if (S->Key.load(std::memory_order_relaxed) != Begin)
+    return support::TagSlowReason::SlotRecycled;
+  // Matching key: the fast path saw refcount 0. A count resurrected by a
+  // racing acquirer between then and this re-probe still entered the slow
+  // path as a first holder.
+  return support::TagSlowReason::FirstHolder;
+}
+
+/// Why did the release fast path fail? \p S is the slot the fast path
+/// looked at (hint or probe), null when neither found one.
+support::TagSlowReason classifyReleaseSlow(core::TagTable::Slot *S,
+                                           uint64_t Begin) {
+  if (S == nullptr)
+    return support::TagSlowReason::SlotCold;
+  if (S->Key.load(std::memory_order_relaxed) != Begin)
+    return support::TagSlowReason::SlotRecycled;
+  uint64_t St = S->State.load(std::memory_order_relaxed);
+  uint32_t Count = core::TagTable::refCountOf(St);
+  if (Count == 0)
+    return support::TagSlowReason::Orphan;
+  return support::TagSlowReason::LastHolder;
+}
+
 } // namespace
 
 TagAllocator::TagAllocator(TagTableKind Kind, unsigned NumTables,
@@ -149,7 +220,10 @@ uint64_t TagAllocator::acquire(uint64_t Begin, uint64_t End,
     *CacheOut = nullptr;
 
   switch (Kind) {
-  case TagTableKind::LockFree:
+  case TagTableKind::LockFree: {
+    // One sampling decision covers the whole operation: outcome byte 0
+    // (fast) unless the slow path stamps a reason below.
+    support::FlightScope Flight(support::FlightKind::TagAcquire);
     // Fast path (Algorithm 1 steps 2-4 when the entry exists and the
     // object is already tagged): one lock-free probe, one CAS, one LDG.
     if (TagTable::Slot *S = Table.probeSlot(Begin)) {
@@ -162,7 +236,9 @@ uint64_t TagAllocator::acquire(uint64_t Begin, uint64_t End,
       }
     }
     allocMetrics().LfAcquireSlow.add();
-    return acquireLockFreeSlow(Begin, End, CacheOut);
+    countSlowReason(classifyAcquireSlow(Table, Begin), &Flight);
+    return acquireLockFreeSlow(Begin, End, CacheOut, Flight);
+  }
   case TagTableKind::GlobalLock: {
     // The naive §3.1 strawman: every JNI thread serialises here.
     allocMetrics().GlobalAcquires.add();
@@ -177,9 +253,13 @@ uint64_t TagAllocator::acquire(uint64_t Begin, uint64_t End,
 }
 
 uint64_t TagAllocator::acquireLockFreeSlow(uint64_t Begin, uint64_t End,
-                                           TagTable::Slot **CacheOut) {
+                                           TagTable::Slot **CacheOut,
+                                           support::FlightScope &Flight) {
   {
-    auto Lock = Table.lockShard(Begin);
+    bool Contended = false;
+    auto Lock = Table.lockShard(Begin, &Contended);
+    if (Contended)
+      countSlowReason(support::TagSlowReason::ShardContended);
     if (TagTable::Slot *S = Table.slotLocked(Begin, /*Create=*/true, Lock)) {
       uint64_t St = S->State.load(std::memory_order_acquire);
       for (;;) {
@@ -213,6 +293,7 @@ uint64_t TagAllocator::acquireLockFreeSlow(uint64_t Begin, uint64_t End,
   // Probe window exhausted: this entry lives in the shard's locked
   // overflow map and uses the two-tier path.
   allocMetrics().LfOverflowSpills.add();
+  countSlowReason(support::TagSlowReason::OverflowSpill, &Flight);
   return acquireTwoTier(Begin, End);
 }
 
@@ -250,6 +331,7 @@ void TagAllocator::release(uint64_t Begin, uint64_t End,
 
   switch (Kind) {
   case TagTableKind::LockFree: {
+    support::FlightScope Flight(support::FlightKind::TagRelease);
     // Fast path: not the last holder — one CAS, no lock. The hint (from
     // acquire(), via the JNI pin record) skips even the probe; it is
     // revalidated against Begin inside tryReleaseShared.
@@ -259,7 +341,10 @@ void TagAllocator::release(uint64_t Begin, uint64_t End,
       return;
     }
     allocMetrics().LfReleaseSlow.add();
-    releaseLockFreeSlow(Begin, End);
+    if (Hint == nullptr)
+      countSlowReason(support::TagSlowReason::PinCacheMiss);
+    countSlowReason(classifyReleaseSlow(S, Begin), &Flight);
+    releaseLockFreeSlow(Begin, End, Flight);
     return;
   }
   case TagTableKind::GlobalLock: {
@@ -275,9 +360,13 @@ void TagAllocator::release(uint64_t Begin, uint64_t End,
   releaseTwoTier(Begin, End);
 }
 
-void TagAllocator::releaseLockFreeSlow(uint64_t Begin, uint64_t End) {
+void TagAllocator::releaseLockFreeSlow(uint64_t Begin, uint64_t End,
+                                       support::FlightScope &Flight) {
   {
-    auto Lock = Table.lockShard(Begin);
+    bool Contended = false;
+    auto Lock = Table.lockShard(Begin, &Contended);
+    if (Contended)
+      countSlowReason(support::TagSlowReason::ShardContended);
     if (TagTable::Slot *S =
             Table.slotLocked(Begin, /*Create=*/false, Lock)) {
       uint64_t St = S->State.load(std::memory_order_acquire);
@@ -317,6 +406,7 @@ void TagAllocator::releaseLockFreeSlow(uint64_t Begin, uint64_t End) {
   }
   // Not in the slot array: overflow entry or orphan release.
   allocMetrics().LfOverflowSpills.add();
+  countSlowReason(support::TagSlowReason::OverflowSpill, &Flight);
   releaseTwoTier(Begin, End);
 }
 

@@ -117,9 +117,16 @@ TagTable::Slot *TagTable::probeSlot(uint64_t Begin) {
   return nullptr;
 }
 
-std::unique_lock<std::mutex> TagTable::lockShard(uint64_t Begin) {
-  return std::unique_lock<std::mutex>(
-      Shards[shardIndexOf(Begin)]->TableLock);
+std::unique_lock<std::mutex> TagTable::lockShard(uint64_t Begin,
+                                                 bool *Contended) {
+  std::mutex &M = Shards[shardIndexOf(Begin)]->TableLock;
+  std::unique_lock<std::mutex> Lock(M, std::try_to_lock);
+  if (!Lock.owns_lock()) {
+    if (Contended != nullptr)
+      *Contended = true;
+    Lock.lock();
+  }
+  return Lock;
 }
 
 TagTable::Slot *TagTable::slotLocked(uint64_t Begin, bool Create,

@@ -10,6 +10,7 @@
 #include "mte4jni/mte/MteSystem.h"
 #include "mte4jni/support/Metrics.h"
 #include "mte4jni/support/Syscall.h"
+#include "mte4jni/support/TraceRing.h"
 
 #include <algorithm>
 #include <cstring>
@@ -37,11 +38,42 @@ struct AccessMetrics {
       support::Metrics::counter("mte/access/mismatch_async");
   support::Counter &RegionCacheMiss =
       support::Metrics::counter("mte/access/region_cache_miss");
+  /// Why the per-thread region cache missed (fast-path attribution):
+  /// cold = nothing cached yet; epoch_stale = a region was published or
+  /// retired since the cache fill; out_of_range = the access left the
+  /// cached region. Their sum can undercount region_cache_miss by the
+  /// mismatch fall-throughs, which are not misses.
+  support::Counter &MissCold =
+      support::Metrics::counter("mte/access/cache_miss_reason/cold");
+  support::Counter &MissEpochStale =
+      support::Metrics::counter("mte/access/cache_miss_reason/epoch_stale");
+  support::Counter &MissOutOfRange =
+      support::Metrics::counter("mte/access/cache_miss_reason/out_of_range");
 };
 
 AccessMetrics &accessMetrics() {
   static AccessMetrics M;
   return M;
+}
+
+/// Classifies a slow-path entry against the thread's region cache. Called
+/// only on cold paths; when every fast-path precondition held, the entry
+/// was a mismatch fall-through, not a cache miss, and nothing is counted.
+void countRegionCacheMissReason(ThreadState &TS, uint64_t Address,
+                                uint64_t Bytes) {
+  AccessMetrics &AM = accessMetrics();
+  const TaggedRegion *Cached = TS.cachedRegion();
+  if (Cached == nullptr) {
+    AM.MissCold.add();
+    return;
+  }
+  if (TS.cachedRegionEpoch() !=
+      RegionPublishEpoch.load(std::memory_order_acquire)) {
+    AM.MissEpochStale.add();
+    return;
+  }
+  if (!(Cached->contains(Address) && Bytes <= Cached->end() - Address))
+    AM.MissOutOfRange.add();
 }
 
 /// Builds and routes a mismatch according to the thread's TCF mode.
@@ -86,6 +118,7 @@ void checkAccessSlow(ThreadState &TS, uint64_t Bits, uint32_t Size,
 
   RegionPin Pin(System);
   accessMetrics().RegionCacheMiss.add();
+  countRegionCacheMissReason(TS, Address, Size);
 
   // Hardware checks every granule the access touches against the page it
   // lives in: an access can begin below a PROT_MTE region and extend into
@@ -138,7 +171,8 @@ namespace {
 /// boundaries in either direction; every granule inside a region is
 /// checked, granules outside every region are not.
 M4J_NOINLINE void checkRangeSlow(ThreadState &TS, uint64_t Bits,
-                                 uint64_t Bytes, bool IsWrite) {
+                                 uint64_t Bytes, bool IsWrite,
+                                 support::SampledLatency &Lat) {
   MteSystem &System = MteSystem::instance();
   uint64_t Address = addressOf(Bits);
   uint64_t End = Address + Bytes;
@@ -147,6 +181,7 @@ M4J_NOINLINE void checkRangeSlow(ThreadState &TS, uint64_t Bits,
   RegionPin Pin(System);
   detail::AccessMetrics &AM = detail::accessMetrics();
   AM.RegionCacheMiss.add();
+  detail::countRegionCacheMissReason(TS, Address, Bytes);
 
   uint64_t Granules = 0;
   const TaggedRegion *Container = nullptr;
@@ -183,6 +218,11 @@ M4J_NOINLINE void checkRangeSlow(ThreadState &TS, uint64_t Bits,
   TS.noteChecks(Granules);
   (IsWrite ? AM.CheckedStores : AM.CheckedLoads).add();
   AM.CheckedGranules.add(Granules);
+  if (Lat.armed()) {
+    Lat.setArg(static_cast<uint8_t>(detail::scanKernelFor(Granules)));
+    Lat.setArg2(static_cast<uint32_t>(
+        Granules > UINT32_MAX ? UINT32_MAX : Granules));
+  }
   if (Container != nullptr)
     TS.cacheRegion(Pin->findShared(Address), Pin.epoch());
 }
@@ -194,6 +234,12 @@ M4J_ALWAYS_INLINE void checkRange(uint64_t Bits, uint64_t Bytes,
   ThreadState &TS = ThreadState::current();
   if (M4J_LIKELY(!TS.checksOn()))
     return;
+
+  // ~1/64 of checks record a latency sample and a CheckScan flight slice
+  // (kernel choice + granule count filled in below, once known).
+  static support::Histogram &CheckNanos =
+      support::Metrics::histogram("mte/access/check_range_nanos");
+  support::SampledLatency Lat(CheckNanos, support::FlightKind::CheckScan);
 
   // Fast path: whole range inside the thread's cached region under the
   // current publish epoch — one SWAR/SIMD scan, no list walk.
@@ -210,9 +256,14 @@ M4J_ALWAYS_INLINE void checkRange(uint64_t Bits, uint64_t Bytes,
     uint64_t LastIdx =
         granuleIndex(support::alignDown(Address + Bytes - 1, kGranuleSize),
                      Cached->begin());
+    uint64_t Granules = LastIdx - FirstIdx + 1;
+    if (M4J_UNLIKELY(Lat.armed())) {
+      Lat.setArg(static_cast<uint8_t>(detail::scanKernelFor(Granules)));
+      Lat.setArg2(static_cast<uint32_t>(
+          Granules > UINT32_MAX ? UINT32_MAX : Granules));
+    }
     uint64_t Bad = Cached->findMismatch(FirstIdx, LastIdx, PointerTag);
     if (M4J_LIKELY(Bad == UINT64_MAX)) {
-      uint64_t Granules = LastIdx - FirstIdx + 1;
       TS.noteChecks(Granules);
       detail::AccessMetrics &AM = detail::accessMetrics();
       static support::Counter &CacheHits =
@@ -224,7 +275,7 @@ M4J_ALWAYS_INLINE void checkRange(uint64_t Bits, uint64_t Bytes,
     }
     // Mismatch: fall through for uniform counting and reporting.
   }
-  checkRangeSlow(TS, Bits, Bytes, IsWrite);
+  checkRangeSlow(TS, Bits, Bytes, IsWrite, Lat);
 }
 
 } // namespace

@@ -9,6 +9,7 @@
 
 #include "mte4jni/support/Metrics.h"
 #include "mte4jni/support/StringUtils.h"
+#include "mte4jni/support/TraceRing.h"
 
 #include <mutex>
 
@@ -79,6 +80,16 @@ void FaultLog::append(FaultRecord Record) {
   // check — flows through here, so this is where the process-wide fault
   // telemetry ring is fed.
   support::Metrics::faultRing().record(toFaultEvent(Record));
+  // Faults are rare: stamp them into the faulting thread's flight ring as
+  // instant events so a trace export shows each fault in-lane next to the
+  // JNI/tag-table activity that led up to it.
+  if (support::obs::coldArmed()) {
+    uint64_t Now = support::monotonicNanos();
+    support::FlightRecorder::record(
+        support::FlightKind::Fault,
+        Record.Kind == FaultKind::TagMismatchAsync ? 1 : 0,
+        Record.HasAddress ? static_cast<uint32_t>(Record.Address) : 0, Now, 0);
+  }
   std::lock_guard<support::SpinLock> Guard(Lock);
   ++Total;
   ++Counts[static_cast<size_t>(Record.Kind)];

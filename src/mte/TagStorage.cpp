@@ -109,6 +109,21 @@ uint64_t scanMismatch(const uint8_t *Tags, uint64_t Count, TagValue Expected) {
   return scanMismatchSwar(Tags, Count, Expected);
 }
 
+unsigned scanKernelFor(uint64_t Count) {
+  // Mirrors scanMismatch's dispatch exactly.
+#if M4J_HAVE_AVX2
+  static const bool HasAvx2 = __builtin_cpu_supports("avx2");
+  if (HasAvx2 && Count >= 32)
+    return 3;
+#endif
+#if defined(__SSE2__) && !defined(M4J_DISABLE_SIMD_SCAN)
+  if (Count >= 16)
+    return 2;
+#endif
+  (void)Count;
+  return 1;
+}
+
 } // namespace detail
 
 TaggedRegion::TaggedRegion(uint64_t Begin, uint64_t Size)

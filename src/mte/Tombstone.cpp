@@ -126,6 +126,28 @@ std::string renderTombstone(const FaultRecord &Record,
             static_cast<unsigned long long>(E.ThreadId));
     }
   }
+  // Bounded metrics excerpt: the tag-table slow-path attribution and the
+  // fault-ring depth. This is the part of the registry a crash triager
+  // actually wants in-band — whether the process was grinding through the
+  // shard-locked slow path when it died, and how many earlier faults the
+  // ring retained vs. saw in total.
+  support::MetricsSnapshot Snapshot = support::Metrics::snapshot();
+  constexpr std::string_view kSlowPrefix = "core/tagtable/slow_reason/";
+  std::string SlowLines;
+  for (const support::CounterSample &C : Snapshot.Counters) {
+    if (C.Value == 0 || C.Name.compare(0, kSlowPrefix.size(), kSlowPrefix) != 0)
+      continue;
+    SlowLines += support::format(
+        "    %s: %llu\n", C.Name.c_str() + kSlowPrefix.size(),
+        static_cast<unsigned long long>(C.Value));
+  }
+  Out += "metrics excerpt:\n";
+  Out += SlowLines.empty() ? "    tagtable slow path: never taken\n"
+                           : "    tagtable slow-path reasons:\n" + SlowLines;
+  Out += support::format(
+      "    fault ring: %zu retained of %llu total\n", Recent.size(),
+      static_cast<unsigned long long>(Snapshot.FaultsTotal));
+
   Out += "*** *** *** *** *** *** *** *** *** *** *** *** *** *** *** "
          "***\n";
   return Out;

@@ -16,6 +16,7 @@
 #include "mte4jni/support/Syscall.h"
 #include "mte4jni/support/ThreadPool.h"
 #include "mte4jni/support/TraceEvents.h"
+#include "mte4jni/support/TraceRing.h"
 
 #include <algorithm>
 #include <chrono>
@@ -62,6 +63,17 @@ GcMetrics &gcMetrics() {
 constexpr size_t kMarkGrabBatch = 32;
 constexpr size_t kMarkSpillThreshold = 1024;
 
+/// GC phases are cold (a handful per cycle), so their flight slices are
+/// recorded at every observability level except Off — a trace of a bench
+/// run always shows the pause composition even under default sampling.
+void recordGcPhaseFlight(support::GcFlightPhase Phase, uint64_t StartNanos,
+                         uint64_t EndNanos) {
+  if (support::obs::coldArmed())
+    support::FlightRecorder::record(support::FlightKind::GcPhase,
+                                    static_cast<uint8_t>(Phase), 0, StartNanos,
+                                    EndNanos - StartNanos);
+}
+
 } // namespace
 
 GcController::GcController(Runtime &RT, const GcConfig &Config)
@@ -103,6 +115,7 @@ void GcController::backgroundLoop() {
   // crash the paper warns about.
   mte::ThreadState::current().setTco(Config.SuppressTagChecks);
   support::ScopedFrame GcFrame("art::gc::ConcurrentGCTask", "libart.so");
+  support::FlightRecorder::setThreadLabel("gc-background");
 
   while (!StopRequested.load(std::memory_order_acquire)) {
     collect();
@@ -126,7 +139,7 @@ void GcController::runStriped(unsigned NumStripes,
   // heap too small to matter) pays no worker threads. collect() bodies are
   // serialised by the world pause, so creation is race-free.
   if (!Pool)
-    Pool = std::make_unique<support::ThreadPool>(Workers);
+    Pool = std::make_unique<support::ThreadPool>(Workers, "gc-worker");
   Pool->parallelFor(NumStripes, Body);
 }
 
@@ -247,7 +260,7 @@ GcResult GcController::collect() {
   mte::ScopedTco TcoForGc(Config.SuppressTagChecks);
   support::ScopedTrace Trace("GC.collect", "gc");
   GcMetrics &GM = gcMetrics();
-  support::ScopedLatency CollectLatency(GM.CollectNanos);
+  uint64_t CollectStart = support::monotonicNanos();
   RT.beginPause();
   GM.ParallelWorkers.set(Workers);
 
@@ -257,17 +270,21 @@ GcResult GcController::collect() {
   std::vector<ObjectHeader *> Roots = RT.snapshotRoots();
   Result.ObjectsScanned = clearMarks();
   markFromRoots(std::move(Roots));
-  GM.MarkNanos.record(support::monotonicNanos() - MarkStart);
+  uint64_t MarkEnd = support::monotonicNanos();
+  GM.MarkNanos.record(MarkEnd - MarkStart);
+  recordGcPhaseFlight(support::GcFlightPhase::Mark, MarkStart, MarkEnd);
 
   // Sweep phase: free unmarked, unpinned objects.
   uint64_t SweepStart = support::monotonicNanos();
   sweep(Result);
-  GM.SweepNanos.record(support::monotonicNanos() - SweepStart);
+  uint64_t SweepEnd = support::monotonicNanos();
+  GM.SweepNanos.record(SweepEnd - SweepStart);
+  recordGcPhaseFlight(support::GcFlightPhase::Sweep, SweepStart, SweepEnd);
 
   // Compaction phase (mark-compact mode): slide survivors toward the
   // heap base; JNI-pinned objects stay in place. Roots are rewritten.
   if (Config.Mode == GcMode::Compacting) {
-    support::ScopedLatency CompactLatency(GM.CompactNanos);
+    uint64_t CompactStart = support::monotonicNanos();
     auto Moved = RT.heap().compact();
     Result.ObjectsMoved = Moved.size();
     RT.updateRootsAfterMove(Moved);
@@ -295,14 +312,22 @@ GcResult GcController::collect() {
       Pinned.fetch_add(LocalPinned, std::memory_order_relaxed);
     });
     Result.ObjectsPinnedInPlace = Pinned.load(std::memory_order_relaxed);
+    uint64_t CompactEnd = support::monotonicNanos();
+    GM.CompactNanos.record(CompactEnd - CompactStart);
+    recordGcPhaseFlight(support::GcFlightPhase::Compact, CompactStart,
+                        CompactEnd);
   }
 
   // Optional verification pass (reads payloads with untagged pointers).
   if (Config.VerifyObjectBodies) {
-    support::ScopedLatency VerifyLatency(GM.VerifyNanos);
+    uint64_t VerifyStart = support::monotonicNanos();
     Result.ObjectsVerified = 0;
     Result.PayloadBytesVerified = 0;
     verifyPass(Result);
+    uint64_t VerifyEnd = support::monotonicNanos();
+    GM.VerifyNanos.record(VerifyEnd - VerifyStart);
+    recordGcPhaseFlight(support::GcFlightPhase::Verify, VerifyStart,
+                        VerifyEnd);
   }
 
   RT.endPause();
@@ -311,6 +336,10 @@ GcResult GcController::collect() {
   GM.BytesFreed.add(Result.BytesFreed);
   GM.ObjectsFreed.add(Result.ObjectsFreed);
   GM.HeapBytesLive.set(static_cast<int64_t>(RT.heap().stats().BytesLive));
+  uint64_t CollectEnd = support::monotonicNanos();
+  GM.CollectNanos.record(CollectEnd - CollectStart);
+  recordGcPhaseFlight(support::GcFlightPhase::Collect, CollectStart,
+                      CollectEnd);
   return Result;
 }
 

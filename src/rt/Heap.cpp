@@ -10,6 +10,7 @@
 #include "mte4jni/mte/Instructions.h"
 #include "mte4jni/mte/MteSystem.h"
 #include "mte4jni/mte/Tag.h"
+#include "mte4jni/support/TraceRing.h"
 
 #include <algorithm>
 #include <bit>
@@ -34,6 +35,21 @@ struct HeapMetrics {
       support::Metrics::counter("rt/heap/freelist_steal");
   support::Gauge &BitmapBytes =
       support::Metrics::gauge("rt/heap/bitmap_bytes");
+  /// Why an allocation left the TLAB bump path (fast-path attribution):
+  /// refill = normal TLAB exhaustion; big_object = Size * 4 > TlabBytes;
+  /// tlab_off = TlabBytes 0 or non-TLAB pipeline; overflow_shard = more
+  /// live threads than shards; frontier_exhausted = the bump frontier ran
+  /// out and the free lists were scavenged.
+  support::Counter &SlowRefill =
+      support::Metrics::counter("rt/heap/tlab_slow_reason/refill");
+  support::Counter &SlowBigObject =
+      support::Metrics::counter("rt/heap/tlab_slow_reason/big_object");
+  support::Counter &SlowTlabOff =
+      support::Metrics::counter("rt/heap/tlab_slow_reason/tlab_off");
+  support::Counter &SlowOverflowShard =
+      support::Metrics::counter("rt/heap/tlab_slow_reason/overflow_shard");
+  support::Counter &SlowFrontierExhausted = support::Metrics::counter(
+      "rt/heap/tlab_slow_reason/frontier_exhausted");
 };
 
 HeapMetrics &heapMetrics() {
@@ -147,6 +163,15 @@ uint64_t JavaHeap::allocSlow(uint64_t Size, unsigned Shard,
   // and overflow-shard threads carve exactly what they need.
   bool Refill = Shard != kOverflowShard && EffTlabBytes != 0 &&
                 Size * 4 <= EffTlabBytes;
+  HeapMetrics &HM = heapMetrics();
+  if (Shard == kOverflowShard)
+    HM.SlowOverflowShard.add();
+  else if (EffTlabBytes == 0)
+    HM.SlowTlabOff.add();
+  else if (Size * 4 > EffTlabBytes)
+    HM.SlowBigObject.add();
+  else
+    HM.SlowRefill.add();
   if (Refill) {
     uint64_t TlabStart = 0, TlabEnd = 0;
     {
@@ -165,6 +190,12 @@ uint64_t JavaHeap::allocSlow(uint64_t Size, unsigned Shard,
     }
     if (TlabStart) {
       heapMetrics().TlabRefill.add();
+      // TLAB refills are cold: always in the flight ring unless Off.
+      if (support::obs::coldArmed())
+        support::FlightRecorder::record(
+            support::FlightKind::TlabRefill, 0,
+            static_cast<uint32_t>(TlabEnd - TlabStart),
+            support::monotonicNanos(), 0);
       // Bulk-scrub the whole buffer's colours in ONE st2g-style range
       // write, so per-object tagging from this TLAB never pays a
       // stale-tag cleanup (allocation-time tag cost amortises over the
@@ -190,6 +221,7 @@ uint64_t JavaHeap::allocSlow(uint64_t Size, unsigned Shard,
 
   // Frontier exhausted: scavenge an exact-size block from ANY shard's free
   // list before conceding OutOfMemoryError.
+  HM.SlowFrontierExhausted.add();
   for (unsigned I = 0; I < kNumShards; ++I) {
     unsigned Victim = (Shard + I) % kNumShards;
     if (FreeShards[Victim].Count.load(std::memory_order_relaxed) == 0)
@@ -242,6 +274,10 @@ ObjectHeader *JavaHeap::allocObject(uint32_t ClassWord, uint32_t Length,
                                    Config.Alignment);
   if (Size > UINT32_MAX)
     return nullptr;
+
+  static support::Histogram &AllocNanos =
+      support::Metrics::histogram("rt/heap/alloc_nanos");
+  support::SampledLatency Lat(AllocNanos);
 
   unsigned Shard = support::detail::metricShard();
 

@@ -11,6 +11,7 @@
 #include "mte4jni/mte/ThreadState.h"
 #include "mte4jni/rt/JavaString.h"
 #include "mte4jni/support/Syscall.h"
+#include "mte4jni/support/TraceRing.h"
 
 #include <algorithm>
 #include <chrono>
@@ -54,6 +55,7 @@ Runtime::~Runtime() {
 JavaThread &Runtime::attachCurrentThread(std::string Name, ThreadKind Kind) {
   M4J_ASSERT(JavaThread::currentOrNull() == nullptr,
              "thread already attached");
+  support::FlightRecorder::setThreadLabel(Name);
   AttachedThread.reset(new JavaThread(*this, std::move(Name), Kind));
   // Thread attach enters the kernel (clone/futex): a syscall boundary.
   support::syscallBarrier("clone");

@@ -99,6 +99,26 @@ uint64_t Histogram::sum() const {
   return Sum;
 }
 
+uint64_t Histogram::minValue() const {
+  uint64_t Min = UINT64_MAX;
+  for (const Shard &S : Shards) {
+    uint64_t V = S.Min.load(std::memory_order_relaxed);
+    if (V < Min)
+      Min = V;
+  }
+  return Min == UINT64_MAX ? 0 : Min; // empty histogram reads as 0
+}
+
+uint64_t Histogram::maxValue() const {
+  uint64_t Max = 0;
+  for (const Shard &S : Shards) {
+    uint64_t V = S.Max.load(std::memory_order_relaxed);
+    if (V > Max)
+      Max = V;
+  }
+  return Max;
+}
+
 std::array<uint64_t, Histogram::kBuckets> Histogram::bucketCounts() const {
   std::array<uint64_t, kBuckets> Out = {};
   for (const Shard &S : Shards)
@@ -113,6 +133,8 @@ void Histogram::reset() {
       S.Buckets[B].store(0, std::memory_order_relaxed);
     S.Count.store(0, std::memory_order_relaxed);
     S.Sum.store(0, std::memory_order_relaxed);
+    S.Min.store(UINT64_MAX, std::memory_order_relaxed);
+    S.Max.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -251,6 +273,8 @@ MetricsSnapshot Metrics::snapshot() {
       // quiescent (which is when snapshots are taken in practice).
       S.Count = H->count();
       S.Sum = H->sum();
+      S.Min = H->minValue();
+      S.Max = H->maxValue();
       Out.Histograms.push_back(std::move(S));
     }
   }
@@ -365,12 +389,17 @@ std::string MetricsSnapshot::toJson() const {
   for (const HistogramSample &H : Histograms) {
     Out += format(
         "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, \"mean\": %.3f, "
-        "\"p50_le\": %llu, \"p99_le\": %llu, \"buckets\": [",
+        "\"min\": %llu, \"max\": %llu, "
+        "\"p50_le\": %llu, \"p99_le\": %llu, \"p999_le\": %llu, "
+        "\"buckets\": [",
         First ? "" : ",", jsonEscape(H.Name).c_str(),
         static_cast<unsigned long long>(H.Count),
         static_cast<unsigned long long>(H.Sum), H.mean(),
+        static_cast<unsigned long long>(H.Min),
+        static_cast<unsigned long long>(H.Max),
         static_cast<unsigned long long>(H.percentileUpperBound(50)),
-        static_cast<unsigned long long>(H.percentileUpperBound(99)));
+        static_cast<unsigned long long>(H.percentileUpperBound(99)),
+        static_cast<unsigned long long>(H.percentileUpperBound(99.9)));
     bool FirstBucket = true;
     for (unsigned B = 0; B < Histogram::kBuckets; ++B) {
       if (H.Buckets[B] == 0)

@@ -8,9 +8,11 @@
 #include "mte4jni/support/ThreadPool.h"
 
 #include "mte4jni/support/Compiler.h"
+#include "mte4jni/support/TraceRing.h"
 
 #include <atomic>
 #include <condition_variable>
+#include <string>
 
 namespace mte4jni::support {
 
@@ -26,12 +28,12 @@ size_t hardwareThreads() {
   return N == 0 ? 1 : N;
 }
 
-ThreadPool::ThreadPool(size_t NumThreads) {
+ThreadPool::ThreadPool(size_t NumThreads, const char *LabelPrefix) {
   if (NumThreads == 0)
     NumThreads = 1;
   Workers.reserve(NumThreads);
   for (size_t I = 0; I < NumThreads; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I, LabelPrefix] { workerLoop(I, LabelPrefix); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -96,8 +98,13 @@ void ThreadPool::parallelFor(size_t Count,
   B.Done.wait(Guard, [&B] { return B.Pending == 0; });
 }
 
-void ThreadPool::workerLoop() {
+void ThreadPool::workerLoop(size_t Index, const char *LabelPrefix) {
   CurrentWorkerPool = this;
+  // LabelPrefix must have static storage duration (callers pass literals):
+  // the worker reads it after the ctor has returned.
+  if (LabelPrefix != nullptr)
+    FlightRecorder::setThreadLabel(std::string(LabelPrefix) + "-" +
+                                   std::to_string(Index));
   for (;;) {
     std::function<void()> Task;
     {

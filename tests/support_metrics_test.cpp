@@ -159,6 +159,52 @@ TEST_F(MetricsTest, HistogramConcurrentRecordsConsistentSnapshot) {
   EXPECT_GT(Sample->mean(), 0.0);
 }
 
+// Cross-shard merge: more writer threads than exclusive shards, so some
+// land on the shared overflow cell, with exactly computable totals. Every
+// sample must be accounted exactly once across Count, Sum, the bucket
+// array, and the per-shard Min/Max reduction.
+TEST_F(MetricsTest, HistogramCrossShardMergeAccountsEverySampleOnce) {
+  support::Histogram &H = Metrics::histogram("test/cross_shard_hist");
+  // More threads than the registry has exclusive shards (16): the surplus
+  // contends on the overflow cell's CAS min/max path.
+  constexpr int kThreads = 24;
+  constexpr uint64_t kPerThread = 2000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < kThreads; ++T)
+    Threads.emplace_back([&H, T] {
+      // Thread T records T+1, 2(T+1), ..., kPerThread*(T+1).
+      for (uint64_t I = 1; I <= kPerThread; ++I)
+        H.record(I * static_cast<uint64_t>(T + 1));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  constexpr uint64_t kCount = uint64_t(kThreads) * kPerThread;
+  // sum over T of (T+1) * kPerThread*(kPerThread+1)/2
+  constexpr uint64_t kSum = (uint64_t(kThreads) * (kThreads + 1) / 2) *
+                            (kPerThread * (kPerThread + 1) / 2);
+  EXPECT_EQ(H.count(), kCount);
+  EXPECT_EQ(H.minValue(), 1u);
+  EXPECT_EQ(H.maxValue(), kPerThread * kThreads);
+
+  MetricsSnapshot S = Metrics::snapshot();
+  const support::HistogramSample *Sample = S.histogram("test/cross_shard_hist");
+  ASSERT_NE(Sample, nullptr);
+  EXPECT_EQ(Sample->Count, kCount);
+  EXPECT_EQ(Sample->Sum, kSum);
+  EXPECT_EQ(Sample->Min, 1u);
+  EXPECT_EQ(Sample->Max, kPerThread * kThreads);
+  uint64_t BucketTotal = 0;
+  for (uint64_t B : Sample->Buckets)
+    BucketTotal += B;
+  EXPECT_EQ(BucketTotal, kCount);
+
+  // Empty histograms export min/max 0, not the UINT64_MAX init sentinel.
+  support::Histogram &Empty = Metrics::histogram("test/empty_hist");
+  EXPECT_EQ(Empty.minValue(), 0u);
+  EXPECT_EQ(Empty.maxValue(), 0u);
+}
+
 TEST_F(MetricsTest, HistogramPercentileUpperBound) {
   support::Histogram &H = Metrics::histogram("test/percentile_hist");
   for (int I = 0; I < 99; ++I)
@@ -194,6 +240,13 @@ TEST_F(MetricsTest, JsonExportIsStructurallyValid) {
   EXPECT_NE(Json.find("\"histograms\""), std::string::npos);
   EXPECT_NE(Json.find("\"faults\""), std::string::npos);
   EXPECT_NE(Json.find("-42"), std::string::npos);
+  // Each histogram carries the latency summary consumers read: min/max and
+  // the p50/p99/p999 bucket upper bounds.
+  EXPECT_NE(Json.find("\"min\""), std::string::npos);
+  EXPECT_NE(Json.find("\"max\""), std::string::npos);
+  EXPECT_NE(Json.find("\"p50_le\""), std::string::npos);
+  EXPECT_NE(Json.find("\"p99_le\""), std::string::npos);
+  EXPECT_NE(Json.find("\"p999_le\""), std::string::npos);
 }
 
 TEST_F(MetricsTest, PrometheusTextExpositionWellFormed) {

@@ -54,6 +54,32 @@ TEST_F(TraceTest, DisabledRecorderRecordsNothing) {
   EXPECT_EQ(TraceRecorder::size(), 0u);
 }
 
+// Regression: ScopedTrace must capture the enabled flag ONCE at
+// construction. The seed checked enabled() again in the destructor via a
+// StartMicros==0 sentinel, so a scope that straddled a setEnabled toggle
+// either recorded a garbage-duration slice (enabled mid-scope) or silently
+// vanished (disabled mid-scope).
+TEST_F(TraceTest, ScopedTraceCapturesEnabledAtConstruction) {
+  // Disabled at construction, enabled mid-scope: records nothing.
+  TraceRecorder::setEnabled(false);
+  {
+    ScopedTrace T("toggled_on_mid_scope", "test");
+    TraceRecorder::setEnabled(true);
+  }
+  EXPECT_EQ(TraceRecorder::size(), 0u);
+
+  // Enabled at construction, disabled mid-scope: records exactly one
+  // well-formed slice anyway — the capture already started.
+  TraceRecorder::setEnabled(true);
+  {
+    ScopedTrace T("toggled_off_mid_scope", "test");
+    TraceRecorder::setEnabled(false);
+  }
+  auto Events = TraceRecorder::snapshot();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_STREQ(Events[0].Name, "toggled_off_mid_scope");
+}
+
 TEST_F(TraceTest, CountersRecorded) {
   TraceRecorder::recordCounter("tag_table_entries", 7);
   auto Events = TraceRecorder::snapshot();

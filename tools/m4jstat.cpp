@@ -1,0 +1,466 @@
+//===- m4jstat.cpp - Metrics snapshot pretty-printer / differ -----------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Pretty-prints one metrics JSON document — a Session::writeMetricsJson
+// snapshot or a bench --json report (whose snapshot lives under "metrics")
+// — or diffs two of them taken from the same process/bench at different
+// times or commits:
+//
+//   m4jstat METRICS.json                  # one snapshot, non-zero metrics
+//   m4jstat --all METRICS.json            # include zero counters
+//   m4jstat --prefix=core/ METRICS.json   # filter by name prefix
+//   m4jstat A.json B.json                 # diff: B - A per counter/histogram
+//
+// Self-contained: a minimal recursive-descent JSON reader, no third-party
+// dependencies, so it builds anywhere the simulator does.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ==== minimal JSON value tree ==============================================
+
+struct JsonValue;
+using JsonPtr = std::unique_ptr<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } K = Kind::Null;
+  bool Boolean = false;
+  double Number = 0;
+  std::string Str;
+  std::vector<JsonPtr> Items;
+  // Insertion-ordered: metrics documents are emitted sorted already.
+  std::vector<std::pair<std::string, JsonPtr>> Members;
+
+  const JsonValue *get(std::string_view Name) const {
+    for (const auto &M : Members)
+      if (M.first == Name)
+        return M.second.get();
+    return nullptr;
+  }
+  double num(std::string_view Name, double Default = 0) const {
+    const JsonValue *V = get(Name);
+    return V && V->K == Kind::Number ? V->Number : Default;
+  }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(std::string_view Text) : Text(Text) {}
+
+  /// Returns the parsed document or null on malformed input (Error says
+  /// where).
+  JsonPtr parse() {
+    JsonPtr V = parseValue();
+    skipSpace();
+    if (V && Pos != Text.size())
+      fail("trailing characters");
+    return Failed ? nullptr : std::move(V);
+  }
+
+  std::string error() const { return Error; }
+
+private:
+  void fail(const char *Why) {
+    if (!Failed) {
+      Failed = true;
+      Error = std::string(Why) + " at offset " + std::to_string(Pos);
+    }
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() && std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  JsonPtr parseValue() {
+    skipSpace();
+    if (Pos >= Text.size()) {
+      fail("unexpected end of input");
+      return nullptr;
+    }
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"')
+      return parseString();
+    if (C == '-' || std::isdigit(static_cast<unsigned char>(C)))
+      return parseNumber();
+    if (Text.compare(Pos, 4, "true") == 0) {
+      Pos += 4;
+      auto V = std::make_unique<JsonValue>();
+      V->K = JsonValue::Kind::Bool;
+      V->Boolean = true;
+      return V;
+    }
+    if (Text.compare(Pos, 5, "false") == 0) {
+      Pos += 5;
+      auto V = std::make_unique<JsonValue>();
+      V->K = JsonValue::Kind::Bool;
+      return V;
+    }
+    if (Text.compare(Pos, 4, "null") == 0) {
+      Pos += 4;
+      return std::make_unique<JsonValue>();
+    }
+    fail("unexpected character");
+    return nullptr;
+  }
+
+  JsonPtr parseObject() {
+    ++Pos; // '{'
+    auto V = std::make_unique<JsonValue>();
+    V->K = JsonValue::Kind::Object;
+    if (consume('}'))
+      return V;
+    for (;;) {
+      skipSpace();
+      JsonPtr Key = parseString();
+      if (!Key || !consume(':')) {
+        fail("expected \"key\":");
+        return nullptr;
+      }
+      JsonPtr Val = parseValue();
+      if (!Val)
+        return nullptr;
+      V->Members.emplace_back(std::move(Key->Str), std::move(Val));
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return V;
+      fail("expected ',' or '}'");
+      return nullptr;
+    }
+  }
+
+  JsonPtr parseArray() {
+    ++Pos; // '['
+    auto V = std::make_unique<JsonValue>();
+    V->K = JsonValue::Kind::Array;
+    if (consume(']'))
+      return V;
+    for (;;) {
+      JsonPtr Item = parseValue();
+      if (!Item)
+        return nullptr;
+      V->Items.push_back(std::move(Item));
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return V;
+      fail("expected ',' or ']'");
+      return nullptr;
+    }
+  }
+
+  JsonPtr parseString() {
+    skipSpace();
+    if (Pos >= Text.size() || Text[Pos] != '"') {
+      fail("expected string");
+      return nullptr;
+    }
+    ++Pos;
+    auto V = std::make_unique<JsonValue>();
+    V->K = JsonValue::Kind::String;
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C == '\\' && Pos < Text.size()) {
+        char E = Text[Pos++];
+        switch (E) {
+        case 'n': V->Str += '\n'; break;
+        case 't': V->Str += '\t'; break;
+        case 'r': V->Str += '\r'; break;
+        case 'b': V->Str += '\b'; break;
+        case 'f': V->Str += '\f'; break;
+        case 'u':
+          // Metrics names are ASCII; keep escapes opaque rather than
+          // decoding surrogate pairs.
+          V->Str += "\\u";
+          break;
+        default: V->Str += E; break;
+        }
+      } else {
+        V->Str += C;
+      }
+    }
+    if (Pos >= Text.size()) {
+      fail("unterminated string");
+      return nullptr;
+    }
+    ++Pos; // closing quote
+    return V;
+  }
+
+  JsonPtr parseNumber() {
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            std::strchr("+-.eE", Text[Pos]) != nullptr))
+      ++Pos;
+    auto V = std::make_unique<JsonValue>();
+    V->K = JsonValue::Kind::Number;
+    V->Number = std::strtod(std::string(Text.substr(Start, Pos - Start)).c_str(),
+                            nullptr);
+    return V;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  bool Failed = false;
+  std::string Error;
+};
+
+// ==== document loading =====================================================
+
+std::string readFile(const char *Path, bool &Ok) {
+  std::FILE *F = std::fopen(Path, "rb");
+  if (!F) {
+    Ok = false;
+    return {};
+  }
+  std::string Out;
+  char Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  Ok = true;
+  return Out;
+}
+
+struct Document {
+  JsonPtr Root;
+  const JsonValue *Metrics = nullptr; ///< the snapshot object within Root
+  const JsonValue *Results = nullptr; ///< bench rows, when a bench report
+};
+
+bool loadDocument(const char *Path, Document &Doc) {
+  bool Ok = false;
+  std::string Text = readFile(Path, Ok);
+  if (!Ok) {
+    std::fprintf(stderr, "m4jstat: cannot read %s\n", Path);
+    return false;
+  }
+  JsonParser Parser(Text);
+  Doc.Root = Parser.parse();
+  if (!Doc.Root || Doc.Root->K != JsonValue::Kind::Object) {
+    std::fprintf(stderr, "m4jstat: %s: %s\n", Path,
+                 Doc.Root ? "top level is not an object"
+                          : Parser.error().c_str());
+    return false;
+  }
+  // A bench report nests the snapshot under "metrics"; a raw snapshot IS
+  // the object with "counters"/"gauges"/"histograms".
+  const JsonValue *M = Doc.Root->get("metrics");
+  Doc.Metrics = M && M->K == JsonValue::Kind::Object ? M : Doc.Root.get();
+  Doc.Results = Doc.Root->get("results");
+  if (Doc.Metrics->get("counters") == nullptr) {
+    std::fprintf(stderr,
+                 "m4jstat: %s has no \"counters\" section (not a metrics "
+                 "snapshot or bench report)\n",
+                 Path);
+    return false;
+  }
+  return true;
+}
+
+// ==== printing =============================================================
+
+struct Options {
+  bool All = false;
+  std::string Prefix;
+  std::vector<const char *> Paths;
+};
+
+bool nameSelected(const std::string &Name, const Options &Opt) {
+  return Opt.Prefix.empty() || Name.compare(0, Opt.Prefix.size(), Opt.Prefix) == 0;
+}
+
+void printProvenance(const Document &Doc) {
+  const JsonValue *Bench = Doc.Root->get("bench");
+  const JsonValue *Sha = Doc.Root->get("git_sha");
+  const JsonValue *Stamp = Doc.Root->get("timestamp_utc");
+  if (Bench && Bench->K == JsonValue::Kind::String)
+    std::printf("bench: %s\n", Bench->Str.c_str());
+  if (Sha && Sha->K == JsonValue::Kind::String)
+    std::printf("git_sha: %s%s%s\n", Sha->Str.c_str(),
+                Stamp && Stamp->K == JsonValue::Kind::String ? "  at " : "",
+                Stamp && Stamp->K == JsonValue::Kind::String
+                    ? Stamp->Str.c_str()
+                    : "");
+}
+
+void printOne(const Document &Doc, const Options &Opt) {
+  printProvenance(Doc);
+  if (Doc.Results != nullptr && !Doc.Results->Items.empty()) {
+    std::printf("-- results --\n");
+    for (const JsonPtr &Row : Doc.Results->Items) {
+      const JsonValue *Name = Row->get("name");
+      const JsonValue *Unit = Row->get("unit");
+      std::printf("  %-52s %12.4g %s\n",
+                  Name ? Name->Str.c_str() : "?", Row->num("value"),
+                  Unit ? Unit->Str.c_str() : "");
+    }
+  }
+
+  const JsonValue *Counters = Doc.Metrics->get("counters");
+  std::printf("-- counters --\n");
+  for (const auto &M : Counters->Members) {
+    if (!nameSelected(M.first, Opt))
+      continue;
+    if (!Opt.All && M.second->Number == 0)
+      continue;
+    std::printf("  %-52s %14.0f\n", M.first.c_str(), M.second->Number);
+  }
+
+  const JsonValue *Gauges = Doc.Metrics->get("gauges");
+  if (Gauges != nullptr && !Gauges->Members.empty()) {
+    std::printf("-- gauges --\n");
+    for (const auto &M : Gauges->Members) {
+      if (!nameSelected(M.first, Opt) || (!Opt.All && M.second->Number == 0))
+        continue;
+      std::printf("  %-52s %14.0f\n", M.first.c_str(), M.second->Number);
+    }
+  }
+
+  const JsonValue *Histograms = Doc.Metrics->get("histograms");
+  if (Histograms != nullptr && !Histograms->Members.empty()) {
+    std::printf("-- histograms --\n");
+    std::printf("  %-38s %10s %10s %8s %8s %8s %8s %8s\n", "name", "count",
+                "mean", "min", "p50<=", "p99<=", "p999<=", "max");
+    for (const auto &M : Histograms->Members) {
+      if (!nameSelected(M.first, Opt))
+        continue;
+      const JsonValue &H = *M.second;
+      if (!Opt.All && H.num("count") == 0)
+        continue;
+      std::printf("  %-38s %10.0f %10.1f %8.0f %8.0f %8.0f %8.0f %8.0f\n",
+                  M.first.c_str(), H.num("count"), H.num("mean"), H.num("min"),
+                  H.num("p50_le"), H.num("p99_le"), H.num("p999_le"),
+                  H.num("max"));
+    }
+  }
+
+  const JsonValue *Faults = Doc.Metrics->get("faults");
+  if (Faults != nullptr)
+    std::printf("-- faults: %.0f total --\n", Faults->num("total"));
+}
+
+// ==== diffing ==============================================================
+
+void printDiff(const Document &A, const Document &B, const Options &Opt) {
+  std::printf("-- counter deltas (B - A, changed only) --\n");
+  const JsonValue *CA = A.Metrics->get("counters");
+  const JsonValue *CB = B.Metrics->get("counters");
+  std::map<std::string, double> Before;
+  for (const auto &M : CA->Members)
+    Before[M.first] = M.second->Number;
+  for (const auto &M : CB->Members) {
+    if (!nameSelected(M.first, Opt))
+      continue;
+    auto It = Before.find(M.first);
+    double Prev = It == Before.end() ? 0 : It->second;
+    double Delta = M.second->Number - Prev;
+    if (Delta != 0)
+      std::printf("  %-52s %+14.0f  (%.0f -> %.0f)\n", M.first.c_str(), Delta,
+                  Prev, M.second->Number);
+    if (It != Before.end())
+      Before.erase(It);
+  }
+  for (const auto &Gone : Before)
+    if (nameSelected(Gone.first, Opt) && Gone.second != 0)
+      std::printf("  %-52s (removed; was %.0f)\n", Gone.first.c_str(),
+                  Gone.second);
+
+  const JsonValue *HA = A.Metrics->get("histograms");
+  const JsonValue *HB = B.Metrics->get("histograms");
+  if (HA != nullptr && HB != nullptr) {
+    std::printf("-- histogram deltas (count; p99<= A -> B) --\n");
+    for (const auto &M : HB->Members) {
+      if (!nameSelected(M.first, Opt))
+        continue;
+      const JsonValue *Prev = HA->get(M.first);
+      double PrevCount = Prev ? Prev->num("count") : 0;
+      double Delta = M.second->num("count") - PrevCount;
+      if (Delta == 0)
+        continue;
+      std::printf("  %-44s %+12.0f  p99<= %.0f -> %.0f\n", M.first.c_str(),
+                  Delta, Prev ? Prev->num("p99_le") : 0,
+                  M.second->num("p99_le"));
+    }
+  }
+}
+
+void usage(const char *Argv0) {
+  std::printf(
+      "usage: %s [--all] [--prefix=NAME/] SNAPSHOT.json [SNAPSHOT_B.json]\n"
+      "  One file:  pretty-print a Session metrics snapshot or a bench\n"
+      "             --json report (reads its embedded \"metrics\").\n"
+      "  Two files: print per-counter and per-histogram deltas (B - A).\n"
+      "  --all          include zero-valued counters/gauges/histograms\n"
+      "  --prefix=P     only metrics whose name starts with P\n",
+      Argv0);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opt;
+  for (int I = 1; I < argc; ++I) {
+    std::string_view Arg = argv[I];
+    if (Arg == "--all") {
+      Opt.All = true;
+    } else if (Arg.rfind("--prefix=", 0) == 0) {
+      Opt.Prefix = Arg.substr(9);
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "m4jstat: unknown flag %s (try --help)\n", argv[I]);
+      return 2;
+    } else {
+      Opt.Paths.push_back(argv[I]);
+    }
+  }
+  if (Opt.Paths.empty() || Opt.Paths.size() > 2) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  Document A;
+  if (!loadDocument(Opt.Paths[0], A))
+    return 1;
+  if (Opt.Paths.size() == 1) {
+    printOne(A, Opt);
+    return 0;
+  }
+  Document B;
+  if (!loadDocument(Opt.Paths[1], B))
+    return 1;
+  printDiff(A, B, Opt);
+  return 0;
+}
