@@ -193,6 +193,27 @@ BENCHMARK_TEMPLATE(BM_AcquireRelease, core::LockScheme::TwoTier)
 BENCHMARK_TEMPLATE(BM_AcquireRelease, core::LockScheme::GlobalLock)
     ->Range(64, 16 << 10);
 
+/// The same lock-free round trip with deferred tag-clear disabled — the
+/// paper's exact Algorithm 2 (last release clears granule tags under the
+/// shard mutex). The delta against BM_AcquireRelease<LockFree> is what
+/// the lingering-tag optimisation buys on a single-holder loop.
+void BM_AcquireReleaseExact(benchmark::State &State) {
+  core::TagAllocatorOptions Options;
+  Options.Locks = core::TagTableKind::LockFree;
+  Options.DeferredTagClear = false;
+  core::TagAllocator Alloc(Options);
+  uint64_t Bytes = static_cast<uint64_t>(State.range(0));
+  void *Buf = arena().allocate(Bytes);
+  uint64_t Begin = reinterpret_cast<uint64_t>(Buf);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Alloc.acquire(Begin, Begin + Bytes));
+    Alloc.release(Begin, Begin + Bytes);
+  }
+  arena().deallocate(Buf);
+  State.SetBytesProcessed(int64_t(State.iterations()) * int64_t(Bytes));
+}
+BENCHMARK(BM_AcquireReleaseExact)->Range(64, 16 << 10);
+
 /// Observability-overhead acceptance rows: the identical lock-free round
 /// trip with the flight recorder off vs the default ~1/64 sampling. The
 /// delta between the two is the full instrumentation cost on the hottest
@@ -260,12 +281,15 @@ void BM_AcquireReleaseMT(benchmark::State &State) {
 }
 BENCHMARK_TEMPLATE(BM_AcquireReleaseMT, core::TagTableKind::LockFree)
     ->Threads(8)
+    ->Threads(64)
     ->UseRealTime();
 BENCHMARK_TEMPLATE(BM_AcquireReleaseMT, core::LockScheme::TwoTier)
     ->Threads(8)
+    ->Threads(64)
     ->UseRealTime();
 BENCHMARK_TEMPLATE(BM_AcquireReleaseMT, core::LockScheme::GlobalLock)
     ->Threads(8)
+    ->Threads(64)
     ->UseRealTime();
 
 /// Guarded copy get/release vs MTE4JNI get/release — the core asymmetry

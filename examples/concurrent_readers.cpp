@@ -27,6 +27,13 @@ using namespace mte4jni;
 int main() {
   api::SessionConfig Config;
   Config.Protection = api::Scheme::Mte4JniSync;
+  // This demo shows the paper's exact Algorithm 2: the last holder's
+  // release zeroes the granule tags, so the straggler below faults on
+  // its first stale use. Under the default deferred tag-clear the tags
+  // would legitimately linger past the release (reclaimed at GC/free
+  // time), which is precisely the detection window that option trades
+  // for pure-CAS release — opt out to keep the clear synchronous.
+  Config.DeferredTagClear = false;
   api::Session S(Config);
   api::ScopedAttach Main(S, "main");
   rt::HandleScope Scope(S.runtime());
@@ -68,15 +75,15 @@ int main() {
 
   const auto &Stats = S.mtePolicy()->allocator().stats();
   std::printf("\nacquires:       %llu\n",
-              static_cast<unsigned long long>(Stats.Acquires.load()));
+              static_cast<unsigned long long>(Stats.Acquires.value()));
   std::printf("tags generated: %llu  (IRG — first holder of a quiet "
               "object)\n",
-              static_cast<unsigned long long>(Stats.TagsGenerated.load()));
+              static_cast<unsigned long long>(Stats.TagsGenerated.value()));
   std::printf("tags shared:    %llu  (LDG — joined concurrent holders, "
               "§3.1's whole point)\n",
-              static_cast<unsigned long long>(Stats.TagsShared.load()));
+              static_cast<unsigned long long>(Stats.TagsShared.value()));
   std::printf("tags cleared:   %llu  (last holder released)\n",
-              static_cast<unsigned long long>(Stats.TagsCleared.load()));
+              static_cast<unsigned long long>(Stats.TagsCleared.value()));
   std::printf("faults:         %llu  (expected 0 — concurrent in-bounds "
               "reads are clean)\n",
               static_cast<unsigned long long>(S.faults().totalCount()));

@@ -71,6 +71,18 @@ struct SessionConfig {
   /// Optional hardening: exclude neighbouring granules' tags in IRG so
   /// adjacent-object overflows are deterministically caught.
   bool ExcludeAdjacentTags = false;
+  /// Deferred tag-clear for the lock-free tag table: a single-holder
+  /// Release leaves the granule tags resident (one CAS, no mutex, no STG
+  /// loop) and the next Get of the same range is a pure CAS too. Tags are
+  /// reclaimed when the object is freed/swept (the session hooks
+  /// rt::JavaHeap's freed-range callback), when its slot is recycled, and
+  /// when MaxResidentTagBytes overflows. Off reproduces the paper's exact
+  /// Algorithm 2 (clear on last release) for the fig6/fig8 ablations —
+  /// note the tradeoff: deferral narrows use-after-release detection to
+  /// the post-reclaim window.
+  bool DeferredTagClear = true;
+  /// Ceiling on lingering (released but still tagged) payload bytes.
+  uint64_t MaxResidentTagBytes = 8ull << 20;
 
   uint64_t HeapBytes = 64ull << 20;
   /// 0 = pick automatically (16 under MTE4JNI per §4.1, else 8).

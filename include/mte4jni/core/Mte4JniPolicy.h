@@ -45,6 +45,13 @@ struct Mte4JniOptions {
   /// Optional hardening: never give an object a tag equal to a
   /// neighbouring granule's tag (see TagAllocatorOptions).
   bool ExcludeAdjacentTags = false;
+  /// Deferred tag-clear: single-holder release/re-acquire become pure
+  /// CASes, tags are reclaimed lazily (free/sweep hooks, tombstones,
+  /// budget overflow). Off = the paper's exact Algorithm 2 semantics.
+  /// See TagAllocatorOptions::DeferredTagClear.
+  bool DeferredTagClear = true;
+  /// Ceiling on lingering payload bytes when deferral is on.
+  uint64_t MaxResidentTagBytes = 8ull << 20;
 };
 
 class Mte4JniPolicy final : public jni::CheckPolicy {

@@ -77,15 +77,36 @@ struct TagAllocatorOptions {
   /// HWASan and MTE-aware allocators use. Off by default to match the
   /// paper.
   bool ExcludeAdjacentTags = false;
+  /// Deferred tag-clear (LockFree only): a single-holder release leaves
+  /// the granule tags resident and flips the slot to the lingering state
+  /// with one CAS — no shard mutex, no STG loop — and a re-acquire of the
+  /// same range is a pure CAS too. Tags are reclaimed lazily: when the
+  /// object is freed or swept, when the slot is tombstoned/recycled, and
+  /// when the lingering budget overflows. Off = the paper's exact
+  /// Algorithm 2 (clear on last release), which also maximises
+  /// use-after-release detection — a lingering tag widens that window.
+  bool DeferredTagClear = true;
+  /// Ceiling on resident tagged payload bytes — held pins plus lingering
+  /// releases — split across shards. Charged once when the first holder
+  /// publishes the tags and refunded when they are cleared, so the warm
+  /// fast paths never touch the accounting; a release that would linger
+  /// while the shard is over budget clears exactly instead. Only
+  /// meaningful with DeferredTagClear.
+  uint64_t MaxResidentBytes = 8ull << 20;
 };
 
+/// Per-instance counters. Sharded (support::Counter) rather than plain
+/// atomics: Acquires/TagsShared/Releases sit on the lock-free fast path,
+/// where a locked RMW costs as much as the acquire CAS itself on the
+/// virtualised hosts we bench on. Sharded adds are exact — read with
+/// value(), which sums once writers are quiescent.
 struct TagAllocatorStats {
-  std::atomic<uint64_t> Acquires{0};
-  std::atomic<uint64_t> TagsGenerated{0}; ///< IRG path (first holder)
-  std::atomic<uint64_t> TagsShared{0};    ///< LDG path (concurrent holder)
-  std::atomic<uint64_t> Releases{0};
-  std::atomic<uint64_t> TagsCleared{0};   ///< refcount hit zero
-  std::atomic<uint64_t> OrphanReleases{0}; ///< release with no entry
+  support::Counter Acquires;
+  support::Counter TagsGenerated;  ///< IRG path (first holder)
+  support::Counter TagsShared;     ///< LDG path (concurrent holder)
+  support::Counter Releases;
+  support::Counter TagsCleared;    ///< refcount hit zero
+  support::Counter OrphanReleases; ///< release with no entry
 };
 
 class TagAllocator {
@@ -101,6 +122,10 @@ public:
 
   explicit TagAllocator(const TagAllocatorOptions &Options);
 
+  /// Reclaims every lingering tag: the shadow tag store outlives the
+  /// allocator, so deferred-clear residue must not.
+  ~TagAllocator();
+
   TagTableKind lockScheme() const { return Kind; }
   TagTableKind tableKind() const { return Kind; }
 
@@ -114,6 +139,19 @@ public:
   /// Algorithm 2. \p Hint is an optional slot from acquire(); it is
   /// revalidated against \p Begin, so a stale hint degrades to a probe.
   void release(uint64_t Begin, uint64_t End, TagTable::Slot *Hint = nullptr);
+
+  /// Reclaims the lingering (deferred) tags of [Begin, End) if the range
+  /// was released but its tags left resident. The security-critical hook:
+  /// the heap calls this when an object is freed or swept (and for the
+  /// old location of a compacted object), so a dead object never keeps a
+  /// valid tag. Returns true when tags were cleared.
+  bool reclaimRange(uint64_t Begin, uint64_t End);
+
+  /// Drains every lingering slot (tests, shutdown, exact-semantics
+  /// checkpoints). Returns the number of slots reclaimed.
+  uint64_t reclaimAll();
+
+  bool deferredTagClear() const { return DeferredTagClear; }
 
   const TagAllocatorStats &stats() const { return Stats; }
   TagTable &table() { return Table; }
@@ -134,9 +172,15 @@ private:
   TagTableKind Kind;
   bool EraseDeadEntries;
   bool ExcludeAdjacentTags = false;
+  bool DeferredTagClear = false;
   TagTable Table;
   std::mutex GlobalMutex; ///< used only by TagTableKind::GlobalLock
   TagAllocatorStats Stats;
+  /// Identity of this allocator in the per-ThreadState slot memo. Drawn
+  /// from a process-wide monotonic counter and never reused, so a memo
+  /// entry left behind by a destroyed allocator can never validate
+  /// against a new allocator at the same address.
+  const uint64_t MemoOwnerId;
 
   /// Registry counters for the lock-free fast paths, resolved once at
   /// construction so the hot path pays exactly one sharded relaxed add —

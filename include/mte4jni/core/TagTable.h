@@ -11,12 +11,17 @@
 ///
 ///   * TagTableKind::LockFree (default): an open-addressing array of
 ///     cache-line-aligned slots per shard. Each slot packs (epoch,
-///     refcount) into one atomic state word, so the repeated-acquire path
-///     (Algorithm 1 steps 2-4 when the entry already exists) is a CAS loop
-///     with no table lock and no heap allocation. Only the 0<->1
-///     transitions — where tag memory is written — and inserts/erases take
-///     the shard mutex. Entries that overflow a probe window spill into
-///     the shard's locked map, so capacity is still unbounded.
+///     resident, refcount) into one atomic state word, so the
+///     repeated-acquire path (Algorithm 1 steps 2-4 when the entry already
+///     exists) is a CAS loop with no table lock and no heap allocation.
+///     With the deferred tag-clear enabled (a lingering budget > 0), a
+///     single-holder 1->0 release and the matching 0->1 re-acquire are
+///     pure CASes too: the release leaves the granule tags resident and
+///     reclamation happens lazily. Only the transitions that write tag
+///     memory — the cold first holder, the exact last holder, reclaims —
+///     and inserts/erases take the shard mutex. Entries that overflow a
+///     probe window spill into the shard's locked map, so capacity is
+///     still unbounded.
 ///   * TagTableKind::TwoTierMutex: the paper's published design. Each
 ///     shard's *table lock* is held only long enough to fetch or create
 ///     the entry; the per-object *object lock* then guards the reference
@@ -33,20 +38,34 @@
 ///
 ///   * Slot keys only change under the shard mutex (insert claims an empty
 ///     or tombstoned slot; erase tombstones). Fast paths only read keys.
-///   * refcount 0->1 happens under the shard mutex and only *after* the
-///     granule tags are written, published by a release store of the new
-///     state word. A fast-path acquirer that observes refcount >= 1 with
-///     an acquire load therefore always reads valid tags with LDG.
-///   * refcount 1->0 happens under the shard mutex via CAS, so a racing
-///     fast-path increment (which requires refcount >= 1) either lands
-///     before the CAS (the CAS fails and the release turns into a plain
-///     decrement) or after the slot reads 0 (the acquirer falls into the
+///   * The cold refcount 0->1 transition happens under the shard mutex and
+///     only *after* the granule tags are written, published by a release
+///     store of the new state word (which also sets the resident bit). A
+///     fast-path acquirer that observes refcount >= 1 — or refcount 0 with
+///     the resident bit set — with an acquire load therefore always reads
+///     valid tags with LDG.
+///   * An *exact* refcount 1->0 release happens under the shard mutex via
+///     CAS, so a racing fast-path increment either lands before the CAS
+///     (the CAS fails and the release turns into a plain decrement) or
+///     after the slot reads {0, resident=0} (the acquirer falls into the
 ///     slow path and serialises on the mutex). Tags are cleared only after
-///     the CAS to zero succeeds.
-///   * The epoch half of the state word increments on every 0->1
-///     transition, so a stalled compare-exchange can never succeed across
-///     a release/re-acquire (or tombstone/reuse) of the slot — the classic
-///     ABA guard.
+///     the CAS to zero succeeds, which also clears the resident bit.
+///   * A *deferred* 1->0 release (the lingering state) is a single CAS to
+///     {refcount=0, resident=1} with no mutex and no tag writes: the
+///     granule tags stay in place, so a later 0->1 re-acquire of the same
+///     key is likewise a single CAS ("warm" acquire). Reclamation — CAS to
+///     {0, resident=0} with an epoch bump, then clear the tags — happens
+///     under the shard mutex (tombstone/recycle, freed-object hooks,
+///     budget overflow, reclaimAllResident).
+///   * The epoch field increments on every transition that (re)writes tag
+///     memory: the cold 0->1 first-holder store and the reclaim CAS. A
+///     stalled compare-exchange therefore never succeeds across a
+///     tags-changing cycle of the slot — the classic ABA guard. The warm
+///     0<->1 cycle deliberately does NOT bump the epoch: while the
+///     resident bit stays set the key and the granule tags are provably
+///     unchanged (the key can only change after a reclaim, which bumps the
+///     epoch first), so a stalled warm CAS that succeeds is
+///     indistinguishable from a fresh warm acquire.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -81,9 +100,18 @@ enum class TagTableKind : uint8_t {
 
 const char *tagTableKindName(TagTableKind Kind);
 
-/// Aggregate counters for contention analysis (ablation benches). Under
-/// TagTableKind::LockFree only the slow paths count Lookups — the fast
-/// path deliberately writes nothing shared beyond the slot it touches.
+/// Aggregate counters for contention analysis (ablation benches).
+///
+/// Accounting rules — identical for every TagTableKind so m4jstat diffs
+/// are comparable across ablations:
+///
+///   * Lookups: every keyed operation that consults a shard under its
+///     table lock — lookupOrCreate, lookup, slotLocked and eraseIfDead
+///     each count exactly one. The lock-free CAS fast paths (and
+///     probeSlot) deliberately count nothing: they write nothing shared
+///     beyond the slot they touch.
+///   * Creates: one per new entry — a map emplace or a slot claim.
+///   * Erases: one per removed entry — a map erase or a slot tombstone.
 struct TagTableStats {
   uint64_t Lookups = 0;
   uint64_t Creates = 0;
@@ -96,24 +124,39 @@ public:
 
   /// One (referenceNum, mutexAddr) tuple from Algorithm 1.
   struct Entry {
-    /// Guarded by Mutex (the "object lock").
-    uint64_t RefCount = 0;
+    /// Written only under Mutex (the "object lock"); atomic so liveEntries
+    /// can read it without taking every object lock.
+    std::atomic<uint64_t> RefCount{0};
     std::mutex Mutex;
+    /// Set (under Mutex) by eraseIfDead when the entry leaves the map. An
+    /// acquirer that fetched the entry from the map before the erase but
+    /// locked it after must not resurrect it — the map no longer points
+    /// here, so a later release would see an orphan and leak the tags.
+    /// Such an acquirer retries lookupOrCreate instead.
+    bool Dead = false;
   };
 
   using EntryRef = std::shared_ptr<Entry>;
 
   // ==== lock-free representation =======================================
 
-  /// State word layout: [ epoch : 32 | refcount : 32 ].
+  /// State word layout: [ epoch : 31 | resident : 1 | refcount : 32 ].
+  /// The resident bit records that the slot's granule tags are written and
+  /// still in place; at refcount 0 it marks the "lingering" state of a
+  /// deferred tag-clear (tags valid, nobody holding).
   static constexpr uint32_t refCountOf(uint64_t State) {
     return static_cast<uint32_t>(State);
   }
-  static constexpr uint32_t epochOf(uint64_t State) {
-    return static_cast<uint32_t>(State >> 32);
+  static constexpr bool residentOf(uint64_t State) {
+    return (State >> 32) & 1;
   }
-  static constexpr uint64_t packState(uint32_t Epoch, uint32_t Count) {
-    return (static_cast<uint64_t>(Epoch) << 32) | Count;
+  static constexpr uint32_t epochOf(uint64_t State) {
+    return static_cast<uint32_t>(State >> 33);
+  }
+  static constexpr uint64_t packState(uint32_t Epoch, uint32_t Count,
+                                      bool Resident = false) {
+    return (static_cast<uint64_t>(Epoch & 0x7FFFFFFFu) << 33) |
+           (static_cast<uint64_t>(Resident) << 32) | Count;
   }
 
   /// Sentinel keys. Payload begin addresses are real granule-aligned heap
@@ -127,15 +170,30 @@ public:
   struct alignas(64) Slot {
     std::atomic<uint64_t> Key{kEmptyKey};
     std::atomic<uint64_t> State{0};
+    /// Range length of the current tenant, written by the first holder
+    /// under the shard mutex before the state word publishes the count.
+    /// Reclamation needs it to know how many granules to untag.
+    std::atomic<uint64_t> Bytes{0};
+    /// The tenant's granule tag, cached by the first holder alongside
+    /// Bytes. A successful acquire CAS synchronises with the state
+    /// publish, so the fast path can return this instead of paying an LDG
+    /// (region lookup + stats) per acquire. Invariant: equals
+    /// ldgTag(Key) whenever the state word shows holders or residency.
+    std::atomic<uint8_t> Tag{0};
   };
 
   /// Linear-probe window. A key lives within this many slots of its home
   /// position or in the overflow map.
   static constexpr unsigned kProbeWindow = 16;
 
+  /// \p ResidentBudgetBytes bounds the total bytes whose tags may linger
+  /// after a deferred release (split evenly across shards). 0 disables
+  /// deferral entirely: every last-holder release clears tags exactly —
+  /// the paper's Algorithm 2 semantics.
   explicit TagTable(unsigned NumTables = 16,
                     TagTableKind Kind = TagTableKind::TwoTierMutex,
-                    unsigned SlotsPerShard = 2048);
+                    unsigned SlotsPerShard = 2048,
+                    uint64_t ResidentBudgetBytes = 0);
 
   TagTableKind kind() const { return Kind; }
   unsigned numTables() const { return NumTables; }
@@ -164,20 +222,23 @@ public:
   /// overflow map — the slow path checks under the shard mutex).
   Slot *probeSlot(uint64_t Begin);
 
-  /// The repeated-acquire fast path: increments the refcount iff it is
-  /// already >= 1 (i.e. the object is tagged) and the slot still belongs
-  /// to \p Begin. Returns false when the caller must take the slow path
-  /// (first holder, slot recycled, or key mismatch).
+  /// The acquire fast path: increments the refcount iff the slot's tags
+  /// are valid — refcount >= 1 (a concurrent holder) or refcount 0 with
+  /// the resident bit set (a lingering deferred release; the "warm"
+  /// re-acquire) — and the slot still belongs to \p Begin. Returns false
+  /// when the caller must take the slow path (cold first holder, slot
+  /// recycled, or key mismatch).
   static bool tryAcquireShared(Slot &S, uint64_t Begin) {
     uint64_t St = S.State.load(std::memory_order_acquire);
     for (;;) {
-      if (refCountOf(St) == 0)
+      if (refCountOf(St) == 0 && !residentOf(St))
         return false;
       if (S.Key.load(std::memory_order_relaxed) != Begin)
         return false;
-      // The CAS compares the full (epoch, count) word: any concurrent
-      // release-to-zero or slot reuse changes it, so success proves the
-      // count stayed >= 1 for this key the whole time.
+      // The CAS compares the full (epoch, resident, count) word: any
+      // concurrent exact release-to-zero, reclaim or slot reuse changes
+      // it, so success proves the tags stayed valid for this key the
+      // whole time.
       if (S.State.compare_exchange_weak(St, St + 1,
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire))
@@ -185,9 +246,32 @@ public:
     }
   }
 
-  /// The repeated-release fast path: decrements the refcount iff it is
-  /// >= 2 — dropping to zero clears tag memory and must serialise on the
-  /// shard mutex. Returns false when the caller must take the slow path.
+  /// tryAcquireShared with warm-flavour reporting: \p WasWarm is set iff
+  /// this was a 0->1 re-acquire of a lingering slot. No budget traffic —
+  /// resident bytes are charged once at first-holder publish and refunded
+  /// when the tags are actually cleared (exact release, reclaim, or slot
+  /// recycle), so the warm cycle is a single CAS.
+  bool acquireFast(Slot &S, uint64_t Begin, bool &WasWarm) {
+    uint64_t St = S.State.load(std::memory_order_acquire);
+    for (;;) {
+      uint32_t Count = refCountOf(St);
+      if (Count == 0 && !residentOf(St))
+        return false;
+      if (S.Key.load(std::memory_order_relaxed) != Begin)
+        return false;
+      if (S.State.compare_exchange_weak(St, St + 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        WasWarm = Count == 0;
+        return true;
+      }
+    }
+  }
+
+  /// The shared-release fast path: decrements the refcount iff it is
+  /// >= 2 — dropping to zero clears tag memory (or defers, see
+  /// releaseFast) and must not race other last-holder handling. Returns
+  /// false when the caller must take the slow path.
   static bool tryReleaseShared(Slot &S, uint64_t Begin) {
     uint64_t St = S.State.load(std::memory_order_acquire);
     for (;;) {
@@ -202,11 +286,55 @@ public:
     }
   }
 
+  /// The full release fast path: a plain decrement at refcount >= 2, and —
+  /// when the slot is resident and the shard's lingering budget allows —
+  /// a *deferred* 1->0 release that leaves the granule tags in place
+  /// ({refcount=1, resident=1} -> {refcount=0, resident=1}, one CAS, no
+  /// mutex, no tag writes). \p WasDeferred reports the deferred flavour;
+  /// \p OverBudget is set when only the budget stopped a deferral (the
+  /// slow path then counts slow_reason/deferred_reclaim). Returns false
+  /// when the caller must take the slow path (exact last holder, orphan,
+  /// or key mismatch).
+  bool releaseFast(Slot &S, uint64_t Begin, bool &WasDeferred,
+                   bool *OverBudget = nullptr) {
+    uint64_t St = S.State.load(std::memory_order_acquire);
+    for (;;) {
+      uint32_t Count = refCountOf(St);
+      if (Count == 0)
+        return false;
+      if (S.Key.load(std::memory_order_relaxed) != Begin)
+        return false;
+      if (Count == 1) {
+        if (!residentOf(St) || ShardResidentBudget == 0)
+          return false;
+        // The slot's bytes were charged at publish, so the budget check
+        // is a plain load: defer only while the shard's total resident
+        // bytes (held + lingering) are within budget. No RMW on success —
+        // the charge simply stays in place across the lingering window.
+        if (residentBytesOf(Begin).load(std::memory_order_relaxed) >
+            ShardResidentBudget) {
+          if (OverBudget != nullptr)
+            *OverBudget = true;
+          return false;
+        }
+      }
+      if (S.State.compare_exchange_weak(St, St - 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        WasDeferred = Count == 1;
+        return true;
+      }
+    }
+  }
+
   // ==== lock-free slow path (caller holds the shard mutex) ===============
 
   /// Locks the shard \p Begin hashes to. When \p Contended is non-null it
-  /// is set to true iff the mutex was already held and the lock had to
-  /// block — the slow-reason attribution's shard_contended signal.
+  /// is set to true iff the lock had to *wait*: two try-lock probes failed
+  /// before falling back to a blocking lock() — the slow-reason
+  /// attribution's shard_lock_wait signal. (A single failed probe would
+  /// report "was held at probe time", which overcounts: the holder often
+  /// leaves before we would have blocked.)
   std::unique_lock<std::mutex> lockShard(uint64_t Begin,
                                          bool *Contended = nullptr);
 
@@ -217,16 +345,69 @@ public:
                    const std::unique_lock<std::mutex> &Lock);
 
   /// Tombstones \p S so the slot can be reused for another key. Requires
-  /// the shard mutex; only valid at refcount zero.
+  /// the shard mutex; only valid at refcount zero. A lingering slot is
+  /// reclaimed first (tags cleared, epoch bumped) so the next tenant of
+  /// the slot can never expose the old tenant's tags.
   void tombstoneLocked(Slot &S, const std::unique_lock<std::mutex> &Lock);
+
+  // ==== deferred tag-clear reclamation ===================================
+
+  struct ReclaimResult {
+    uint64_t Slots = 0; ///< lingering slots whose tags were cleared
+    uint64_t Bytes = 0; ///< payload bytes untagged
+  };
+
+  /// Reclaims the lingering tags of \p Begin's slot, if any: under the
+  /// shard mutex, CAS {refcount=0, resident=1} -> {0, resident=0} with an
+  /// epoch bump (so stalled warm CASes and stale memo entries die), then
+  /// clear the granule tags. A slot that is held (refcount > 0) or not
+  /// resident is left alone. This is the freed-object / swept-object hook:
+  /// a dead object must never keep a valid tag.
+  ReclaimResult reclaimKey(uint64_t Begin);
+
+  /// Reclaims every lingering slot of every shard (drain: tests, shutdown,
+  /// exact-semantics checkpoints).
+  ReclaimResult reclaimAllResident();
+
+  /// Total bytes whose granule tags are resident — held slots plus
+  /// lingering ones. Charged at first-holder publish, refunded when the
+  /// tags are cleared (exact release, reclaim, slot recycle); the warm
+  /// acquire/release cycle never touches it.
+  uint64_t residentBytes() const;
+  uint64_t residentBudgetBytes() const {
+    return ShardResidentBudget ? ShardResidentBudget * NumTables : 0;
+  }
+
+  /// Budget bookkeeping for the slot slow paths (no-ops when deferral is
+  /// off): the first holder charges its bytes when it publishes the tags;
+  /// the exact-clear release refunds them. Reclaim and tombstone refund
+  /// internally.
+  void chargeResident(uint64_t Begin, uint64_t Bytes) {
+    if (ShardResidentBudget != 0)
+      residentBytesOf(Begin).fetch_add(Bytes, std::memory_order_relaxed);
+  }
+  void unchargeResident(uint64_t Begin, uint64_t Bytes) {
+    if (ShardResidentBudget != 0)
+      residentBytesOf(Begin).fetch_sub(Bytes, std::memory_order_relaxed);
+  }
 
   /// Shard an address belongs to: (Begin / 16) mod k, per Algorithm 1.
   unsigned shardIndexOf(uint64_t Begin) const {
     return static_cast<unsigned>((Begin >> mte::kGranuleShift) % NumTables);
   }
 
-  /// Live entries: map entries plus (under LockFree) occupied slots.
+  /// Entries that hold at least one reference or resident tags: map
+  /// entries at RefCount > 0 plus (under LockFree) slots at refcount > 0
+  /// or lingering. This is the count that agrees across TagTableKinds for
+  /// the same workload — a released-but-not-erased tuple is occupancy, not
+  /// liveness.
   size_t liveEntries() const;
+
+  /// Structural occupancy: every map entry plus every claimed slot,
+  /// including released-but-kept tuples (Algorithm 2 as published leaves
+  /// them in place for reuse).
+  size_t occupiedEntries() const;
+
   TagTableStats stats() const;
 
 private:
@@ -237,7 +418,24 @@ private:
     TagTableStats Stats;
     /// LockFree only; null otherwise.
     std::unique_ptr<Slot[]> Slots;
+    /// Bytes with resident tags in this shard, held or lingering: charged
+    /// by the first holder's publish (slow path), refunded when the tags
+    /// are cleared (exact release, reclaim, tombstone) — so the fast
+    /// paths only ever *read* it. Per-shard so the deferred release fast
+    /// path never contends on a global counter; the budget check is
+    /// therefore per-shard too (total budget / NumTables each).
+    std::atomic<uint64_t> ResidentBytes{0};
   };
+
+  std::atomic<uint64_t> &residentBytesOf(uint64_t Begin) {
+    return Shards[shardIndexOf(Begin)]->ResidentBytes;
+  }
+
+  /// Clears the lingering tags of \p S if it is in the {refcount=0,
+  /// resident=1} state; returns the bytes untagged (0 when the slot was
+  /// held, resurrected mid-CAS, or not resident). Requires the shard
+  /// mutex (keys only change under it, so the Key read is stable).
+  uint64_t reclaimSlotLocked(Shard &Sh, Slot &S);
 
   /// Home position of \p Begin inside its shard's slot array.
   size_t slotHomeOf(uint64_t Begin) const {
@@ -250,6 +448,9 @@ private:
   TagTableKind Kind;
   unsigned NumTables;
   size_t SlotMask = 0; ///< SlotsPerShard - 1 (power of two), 0 when locked
+  /// Per-shard lingering-bytes ceiling (total budget / NumTables, rounded
+  /// up). 0 = deferral disabled (exact Algorithm 2 semantics).
+  uint64_t ShardResidentBudget = 0;
   std::vector<std::unique_ptr<Shard>> Shards;
 };
 

@@ -54,6 +54,13 @@ void setTagRange(TaggedPtr<void> Ptr, uint64_t Bytes);
 /// [Addr, Addr+Bytes) — the release step of Algorithm 2.
 void clearTagRange(uint64_t Addr, uint64_t Bytes);
 
+/// Number of granules overlapping [Addr, Addr+Bytes) whose allocation tag
+/// is nonzero; 0 outside registered regions. Diagnostic counterpart of
+/// clearTagRange for the deferred tag-clear path: after a deferred release
+/// the whole range stays tagged, and after any reclaim trigger it must
+/// read 0.
+uint64_t taggedGranulesIn(uint64_t Addr, uint64_t Bytes);
+
 } // namespace mte4jni::mte
 
 #endif // MTE4JNI_MTE_INSTRUCTIONS_H

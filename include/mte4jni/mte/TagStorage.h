@@ -94,6 +94,13 @@ public:
   uint64_t findMismatch(uint64_t FirstIdx, uint64_t LastIdx,
                         TagValue Expected) const;
 
+  /// Number of granules overlapping [From, To) whose tag is nonzero,
+  /// clamped to the region. Diagnostic for the deferred tag-clear path:
+  /// with TagAllocator's lingering slots, shadow bytes stay nonzero after
+  /// release until a reclaim trigger fires, and tests use this to assert a
+  /// whole payload (not just its first granule) was reclaimed.
+  uint64_t countTagged(uint64_t From, uint64_t To) const;
+
   uint64_t granuleCount() const { return NumGranules; }
 
   /// Raw shadow bytes (one per granule); for diagnostics/tests.

@@ -115,6 +115,28 @@ public:
   /// region walk (see MteSystem::RegionPin).
   std::atomic<uint64_t> &regionEpochSlot() { return ActiveRegionEpoch; }
 
+  // -- tag-slot memo (same-thread only; TagAllocator's acquire/release
+  //    fast paths) -------------------------------------------------------
+  /// A small direct-mapped cache of (owner, begin) -> slot pointer that
+  /// extends the JNI pin cache to *un-nested* re-pins across distinct
+  /// Get/Release pairs: the pin record dies with each Release, but the
+  /// memo survives, so the next Get of the same range skips the table
+  /// probe and goes straight to the slot CAS. Entries are hints, never
+  /// trusted: the caller revalidates via the slot's (epoch, resident,
+  /// refcount) CAS, and \p Owner is the allocator's never-reused identity
+  /// so a destroyed allocator's entries can never validate. Stored as
+  /// void* to keep this layer ignorant of core::TagTable.
+  static constexpr unsigned kTagSlotMemoSize = 16;
+  M4J_ALWAYS_INLINE void *tagSlotMemoLookup(uint64_t Owner,
+                                            uint64_t Key) const {
+    const TagSlotMemoEntry &E = TagSlotMemo[tagSlotMemoIndex(Key)];
+    return (E.Owner == Owner && E.Key == Key) ? E.Slot : nullptr;
+  }
+  M4J_ALWAYS_INLINE void tagSlotMemoStore(uint64_t Owner, uint64_t Key,
+                                          void *Slot) {
+    TagSlotMemo[tagSlotMemoIndex(Key)] = {Owner, Key, Slot};
+  }
+
 private:
   ThreadState();
   ~ThreadState();
@@ -145,6 +167,19 @@ private:
   std::shared_ptr<const TaggedRegion> CachedRegionRef;
   uint64_t CachedRegionEpoch = 0;
   std::atomic<uint64_t> ActiveRegionEpoch{0};
+
+  struct TagSlotMemoEntry {
+    uint64_t Owner = 0; ///< allocator identity; 0 = empty
+    uint64_t Key = 0;
+    void *Slot = nullptr;
+  };
+  static unsigned tagSlotMemoIndex(uint64_t Key) {
+    // Fibonacci-mix the granule index; the top bits select the entry.
+    return static_cast<unsigned>(
+               ((Key >> kGranuleShift) * 0x9E3779B97F4A7C15ull) >> 60) &
+           (kTagSlotMemoSize - 1);
+  }
+  TagSlotMemoEntry TagSlotMemo[kTagSlotMemoSize];
 
   support::Xoshiro256 IrgRng;
   uint64_t Id;

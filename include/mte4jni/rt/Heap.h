@@ -119,6 +119,22 @@ public:
   /// Frees an object (GC sweep only). Thread-safe.
   void free(ObjectHeader *Obj);
 
+  /// Hook invoked with an object's payload range whenever that memory
+  /// stops belonging to the object: on free()/GC sweep, and for the OLD
+  /// location of every object compact() moves. The MTE4JNI session wires
+  /// this to TagAllocator::reclaimRange so a deferred tag-clear can never
+  /// leave a dead (or moved-away-from) object with valid granule tags —
+  /// the security-critical reclaim path. A raw function pointer plus
+  /// context (not std::function) so an uninstalled hook costs one
+  /// predicted branch per free. Install before mutator traffic starts and
+  /// clear only after the GC is stopped: free() reads the pair unlocked.
+  using FreedRangeHook = void (*)(void *Ctx, uint64_t PayloadBegin,
+                                  uint64_t PayloadBytes);
+  void setFreedRangeHook(FreedRangeHook Hook, void *Ctx) {
+    FreedHookCtx = Ctx;
+    FreedHook = Hook;
+  }
+
   /// Calls \p Fn for every live object, walking the liveness bitmap in
   /// address order WITHOUT holding any heap lock: \p Fn may allocate and
   /// free (including the visited object itself). Objects allocated after
@@ -160,6 +176,16 @@ public:
   uint64_t liveBitmapBytes() const { return NumBitWords * 8; }
 
 private:
+  /// See setFreedRangeHook. Written before traffic / after GC stop only.
+  FreedRangeHook FreedHook = nullptr;
+  void *FreedHookCtx = nullptr;
+
+  M4J_ALWAYS_INLINE void notifyFreedRange(ObjectHeader *Obj, uint64_t Size) {
+    if (M4J_UNLIKELY(FreedHook != nullptr) && Size > sizeof(ObjectHeader))
+      FreedHook(FreedHookCtx, Obj->dataAddress(),
+                Size - sizeof(ObjectHeader));
+  }
+
   // Shard index space: reuse the metrics registry's exclusive per-thread
   // shard assignment (support::detail::metricShard). A shard is owned by
   // at most one live thread, so its TLAB and stat cells are single-writer;

@@ -85,10 +85,14 @@ enum class TagSlowReason : uint8_t {
   FirstHolder,    ///< refcount 0 -> 1: tagging memory must serialize on the shard
   LastHolder,     ///< refcount 1 -> 0: clearing tags must serialize on the shard
   SlotRecycled,   ///< probe hit a slot reused for a different range
-  ShardContended, ///< the shard mutex was already held on slow-path entry
+  ShardLockWait,  ///< the slow path had to wait for the shard mutex (two
+                  ///< try-lock probes failed before blocking) — not merely
+                  ///< "held at probe time"
   OverflowSpill,  ///< probe window exhausted; entry lives in the locked map
   PinCacheMiss,   ///< release arrived without a cached slot hint
   Orphan,         ///< release of an entry already at refcount 0
+  DeferredReclaim, ///< lingering budget exhausted: the release must clear
+                   ///< tags exactly instead of deferring
   kNumReasons
 };
 

@@ -86,16 +86,37 @@ Session::Session(const SessionConfig &Config) : Config(Config) {
     MO.Locks = Config.Locks;
     MO.NumHashTables = Config.NumHashTables;
     MO.ExcludeAdjacentTags = Config.ExcludeAdjacentTags;
+    MO.DeferredTagClear = Config.DeferredTagClear;
+    MO.MaxResidentTagBytes = Config.MaxResidentTagBytes;
     auto P = std::make_unique<core::Mte4JniPolicy>(MO);
     MtePolicy = P.get();
     Policy = std::move(P);
     break;
   }
   }
+
+  // Deferred tag-clear is only sound if a freed object cannot keep its
+  // granule tags: hook the heap's free/sweep/compact notifications so the
+  // allocator reclaims any lingering (released-but-still-tagged) range the
+  // moment its object dies. Without this, a dangling native pointer into a
+  // swept object would still carry a matching tag.
+  if (MtePolicy && MtePolicy->allocator().deferredTagClear())
+    Runtime->heap().setFreedRangeHook(
+        [](void *Ctx, uint64_t PayloadBegin, uint64_t PayloadBytes) {
+          static_cast<core::TagAllocator *>(Ctx)->reclaimRange(
+              PayloadBegin, PayloadBegin + PayloadBytes);
+        },
+        &MtePolicy->allocator());
 }
 
 Session::~Session() {
-  // Policy first (its scratch arena unregisters its MTE region), then the
+  // Stop the background GC and unhook the freed-range callback before the
+  // policy (and with it the tag allocator the hook points at) dies; a
+  // sweep racing the policy teardown would otherwise call into a freed
+  // allocator.
+  Runtime->gc().stop();
+  Runtime->heap().setFreedRangeHook(nullptr, nullptr);
+  // Policy next (its scratch arena unregisters its MTE region), then the
   // runtime (unregisters the heap region, resets the check mode).
   Policy.reset();
   Runtime.reset();
@@ -139,11 +160,11 @@ std::string Session::statsReport() const {
     Out += support::format(
         "mte4jni: %llu acquires (%llu generated / %llu shared), "
         "%llu releases, %llu tags cleared, lock scheme %s, k=%u\n",
-        static_cast<unsigned long long>(TS.Acquires.load()),
-        static_cast<unsigned long long>(TS.TagsGenerated.load()),
-        static_cast<unsigned long long>(TS.TagsShared.load()),
-        static_cast<unsigned long long>(TS.Releases.load()),
-        static_cast<unsigned long long>(TS.TagsCleared.load()),
+        static_cast<unsigned long long>(TS.Acquires.value()),
+        static_cast<unsigned long long>(TS.TagsGenerated.value()),
+        static_cast<unsigned long long>(TS.TagsShared.value()),
+        static_cast<unsigned long long>(TS.Releases.value()),
+        static_cast<unsigned long long>(TS.TagsCleared.value()),
         core::lockSchemeName(MtePolicy->allocator().lockScheme()),
         MtePolicy->allocator().table().numTables());
   }

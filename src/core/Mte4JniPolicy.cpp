@@ -15,6 +15,8 @@ TagAllocatorOptions allocatorOptions(const Mte4JniOptions &Options) {
   AO.Locks = Options.Locks;
   AO.NumTables = Options.NumHashTables;
   AO.ExcludeAdjacentTags = Options.ExcludeAdjacentTags;
+  AO.DeferredTagClear = Options.DeferredTagClear;
+  AO.MaxResidentBytes = Options.MaxResidentTagBytes;
   return AO;
 }
 } // namespace
@@ -72,6 +74,11 @@ void Mte4JniPolicy::releaseScratch(uint64_t NativeBits, uint64_t Bytes,
   (void)Interface;
   uint64_t Begin = mte::addressOf(NativeBits);
   Allocator.release(Begin, Begin + Bytes);
+  // Eager reclaim before the arena reuses the address: scratch buffers
+  // recycle immediately, and the next tenant of these bytes must not
+  // inherit a lingering tag (nor keep this one valid for a dangling
+  // pointer into freed scratch).
+  Allocator.reclaimRange(Begin, Begin + Bytes);
   Scratch.deallocate(reinterpret_cast<void *>(Begin));
 }
 

@@ -8,6 +8,7 @@
 #include "mte4jni/core/TagAllocator.h"
 
 #include "mte4jni/mte/Instructions.h"
+#include "mte4jni/mte/ThreadState.h"
 #include "mte4jni/support/MathExtras.h"
 #include "mte4jni/support/Metrics.h"
 #include "mte4jni/support/TraceEvents.h"
@@ -49,6 +50,15 @@ struct AllocMetrics {
       support::Metrics::counter("core/tagtable/lockfree/release_slow");
   support::Counter &LfOverflowSpills =
       support::Metrics::counter("core/tagtable/lockfree/overflow_spills");
+  /// Deferred tag-clear attribution. acquire_warm and release_deferred are
+  /// *subsets* of acquire_fast / release_fast (a warm acquire still counts
+  /// as fast — it is one): they attribute how many fast-path hits the
+  /// lingering state manufactured out of what used to be first_holder /
+  /// last_holder mutex trips.
+  support::Counter &LfAcquireWarm =
+      support::Metrics::counter("core/tagtable/lockfree/acquire_warm");
+  support::Counter &LfReleaseDeferred =
+      support::Metrics::counter("core/tagtable/lockfree/release_deferred");
 
   support::Counter &TwoTierAcquires =
       support::Metrics::counter("core/tagtable/twotier/acquires");
@@ -158,11 +168,36 @@ support::TagSlowReason classifyReleaseSlow(core::TagTable::Slot *S,
   return support::TagSlowReason::LastHolder;
 }
 
+/// Effective lingering budget: the knob is one bool + one byte count, and
+/// "off" is exactly "budget 0" (TagTable then never defers a release).
+uint64_t residentBudgetOf(const TagAllocatorOptions &Options) {
+  return Options.DeferredTagClear ? Options.MaxResidentBytes : 0;
+}
+
+/// Never-reused allocator identities for the per-thread slot memo (0 is
+/// the empty-entry sentinel).
+std::atomic<uint64_t> NextMemoOwnerId{1};
+
 } // namespace
 
 TagAllocator::TagAllocator(TagTableKind Kind, unsigned NumTables,
                            bool EraseDeadEntries)
-    : Kind(Kind), EraseDeadEntries(EraseDeadEntries), Table(NumTables, Kind),
+    : TagAllocator([&] {
+        TagAllocatorOptions Options;
+        Options.Locks = Kind;
+        Options.NumTables = NumTables;
+        Options.EraseDeadEntries = EraseDeadEntries;
+        return Options;
+      }()) {}
+
+TagAllocator::TagAllocator(const TagAllocatorOptions &Options)
+    : Kind(Options.Locks), EraseDeadEntries(Options.EraseDeadEntries),
+      ExcludeAdjacentTags(Options.ExcludeAdjacentTags),
+      DeferredTagClear(Options.Locks == TagTableKind::LockFree &&
+                       residentBudgetOf(Options) > 0),
+      Table(Options.NumTables, Options.Locks, Options.SlotsPerShard,
+            residentBudgetOf(Options)),
+      MemoOwnerId(NextMemoOwnerId.fetch_add(1, std::memory_order_relaxed)),
       FastAcquireMetric(
           support::Metrics::counter("core/tagtable/lockfree/acquire_fast")),
       FastReleaseMetric(
@@ -170,15 +205,12 @@ TagAllocator::TagAllocator(TagTableKind Kind, unsigned NumTables,
   (void)allocMetrics(); // register the derived aggregates
 }
 
-TagAllocator::TagAllocator(const TagAllocatorOptions &Options)
-    : Kind(Options.Locks), EraseDeadEntries(Options.EraseDeadEntries),
-      ExcludeAdjacentTags(Options.ExcludeAdjacentTags),
-      Table(Options.NumTables, Options.Locks, Options.SlotsPerShard),
-      FastAcquireMetric(
-          support::Metrics::counter("core/tagtable/lockfree/acquire_fast")),
-      FastReleaseMetric(
-          support::Metrics::counter("core/tagtable/lockfree/release_fast")) {
-  (void)allocMetrics(); // register the derived aggregates
+TagAllocator::~TagAllocator() {
+  // Deferred-clear residue must not outlive the table that tracks it: the
+  // shadow tag store is process-wide, and a later allocation at the same
+  // address would inherit a valid-looking tag.
+  if (DeferredTagClear)
+    reclaimAll();
 }
 
 mte::TagValue TagAllocator::generateAndApplyTag(uint64_t Begin,
@@ -204,7 +236,7 @@ mte::TagValue TagAllocator::generateAndApplyTag(uint64_t Begin,
   mte::setTagRange(
       mte::TaggedPtr<void>::fromRaw(reinterpret_cast<void *>(Begin), Tag),
       End - Begin);
-  Stats.TagsGenerated.fetch_add(1, std::memory_order_relaxed);
+  Stats.TagsGenerated.add();
   allocMetrics().TagsGenerated.add();
   return Tag;
 }
@@ -215,7 +247,7 @@ uint64_t TagAllocator::acquire(uint64_t Begin, uint64_t End,
   End = mte::addressOf(End);
   M4J_ASSERT(Begin <= End, "inverted range");
   support::ScopedTrace Trace("TagAllocator.acquire", "mte4jni");
-  Stats.Acquires.fetch_add(1, std::memory_order_relaxed);
+  Stats.Acquires.add();
   if (CacheOut)
     *CacheOut = nullptr;
 
@@ -225,19 +257,34 @@ uint64_t TagAllocator::acquire(uint64_t Begin, uint64_t End,
     // (fast) unless the slow path stamps a reason below.
     support::FlightScope Flight(support::FlightKind::TagAcquire);
     // Fast path (Algorithm 1 steps 2-4 when the entry exists and the
-    // object is already tagged): one lock-free probe, one CAS, one LDG.
-    if (TagTable::Slot *S = Table.probeSlot(Begin)) {
-      if (TagTable::tryAcquireShared(*S, Begin)) {
-        if (CacheOut)
-          *CacheOut = S;
-        Stats.TagsShared.fetch_add(1, std::memory_order_relaxed);
-        FastAcquireMetric.add();
-        return mte::withPointerTag(Begin, mte::ldgTag(Begin));
+    // object's tags are valid — a concurrent holder, or a lingering
+    // deferred release being re-acquired warm): at best one memo hit, one
+    // CAS, one LDG; else one lock-free probe first. The per-thread memo
+    // is only ever a hint — acquireFast revalidates key and state.
+    mte::ThreadState &TS = mte::ThreadState::current();
+    bool Warm = false;
+    TagTable::Slot *S = static_cast<TagTable::Slot *>(
+        TS.tagSlotMemoLookup(MemoOwnerId, Begin));
+    if (S == nullptr || !Table.acquireFast(*S, Begin, Warm)) {
+      S = Table.probeSlot(Begin);
+      if (S == nullptr || !Table.acquireFast(*S, Begin, Warm)) {
+        allocMetrics().LfAcquireSlow.add();
+        countSlowReason(classifyAcquireSlow(Table, Begin), &Flight);
+        return acquireLockFreeSlow(Begin, End, CacheOut, Flight);
       }
+      TS.tagSlotMemoStore(MemoOwnerId, Begin, S);
     }
-    allocMetrics().LfAcquireSlow.add();
-    countSlowReason(classifyAcquireSlow(Table, Begin), &Flight);
-    return acquireLockFreeSlow(Begin, End, CacheOut, Flight);
+    if (CacheOut)
+      *CacheOut = S;
+    Stats.TagsShared.add();
+    FastAcquireMetric.add();
+    if (Warm)
+      allocMetrics().LfAcquireWarm.add();
+    // The slot-cached tag spares the fast path an LDG: the acquire CAS
+    // synchronised with the first holder's publish, and tags cannot
+    // change while the state word holds our reference.
+    return mte::withPointerTag(Begin,
+                               S->Tag.load(std::memory_order_relaxed));
   }
   case TagTableKind::GlobalLock: {
     // The naive §3.1 strawman: every JNI thread serialises here.
@@ -259,33 +306,51 @@ uint64_t TagAllocator::acquireLockFreeSlow(uint64_t Begin, uint64_t End,
     bool Contended = false;
     auto Lock = Table.lockShard(Begin, &Contended);
     if (Contended)
-      countSlowReason(support::TagSlowReason::ShardContended);
+      countSlowReason(support::TagSlowReason::ShardLockWait);
     if (TagTable::Slot *S = Table.slotLocked(Begin, /*Create=*/true, Lock)) {
       uint64_t St = S->State.load(std::memory_order_acquire);
       for (;;) {
-        if (TagTable::refCountOf(St) > 0) {
-          // Raced with another holder that tagged the object between our
-          // fast-path attempt and taking the mutex: share its tag.
-          if (S->State.compare_exchange_weak(St, St + 1,
-                                             std::memory_order_acq_rel,
-                                             std::memory_order_acquire)) {
+        if (TagTable::refCountOf(St) > 0 || TagTable::residentOf(St)) {
+          // Raced with another holder (or a lingering deferred release)
+          // that tagged the object between our fast-path attempt and
+          // taking the mutex: share its tag.
+          bool Warm = false;
+          if (Table.acquireFast(*S, Begin, Warm)) {
             if (CacheOut)
               *CacheOut = S;
-            Stats.TagsShared.fetch_add(1, std::memory_order_relaxed);
+            mte::ThreadState::current().tagSlotMemoStore(MemoOwnerId, Begin,
+                                                         S);
+            Stats.TagsShared.add();
             allocMetrics().TagsSharedSlow.add();
+            if (Warm)
+              allocMetrics().LfAcquireWarm.add();
             return mte::withPointerTag(Begin, mte::ldgTag(Begin));
           }
+          St = S->State.load(std::memory_order_acquire);
           continue;
         }
-        // First holder. Only shard-mutex holders move a slot out of
-        // refcount zero, so the tag write below cannot race; the release
-        // store publishes the tags before any fast path can see count 1.
+        // Cold first holder. Only shard-mutex holders move a slot out of
+        // {refcount=0, resident=0}, so the tag write below cannot race;
+        // the release store publishes the tags (and the range length the
+        // lazy reclaimer needs) before any fast path can see the resident
+        // bit or count 1. The epoch bump pairs with the one in reclaim:
+        // together they fence every tags-(re)writing cycle of the slot.
         mte::TagValue Tag = generateAndApplyTag(Begin, End);
+        S->Bytes.store(End - Begin, std::memory_order_relaxed);
+        S->Tag.store(Tag, std::memory_order_relaxed);
+        // Charge the resident budget here, once, while we already hold
+        // the shard mutex: the charge covers the tags' whole residency
+        // (held and lingering) and is refunded only when they are
+        // actually cleared, which keeps the warm fast paths free of
+        // budget RMWs.
+        Table.chargeResident(Begin, End - Begin);
         S->State.store(
-            TagTable::packState(TagTable::epochOf(St) + 1, 1),
+            TagTable::packState(TagTable::epochOf(St) + 1, 1,
+                                /*Resident=*/true),
             std::memory_order_release);
         if (CacheOut)
           *CacheOut = S;
+        mte::ThreadState::current().tagSlotMemoStore(MemoOwnerId, Begin, S);
         return mte::withPointerTag(Begin, Tag);
       }
     }
@@ -299,23 +364,29 @@ uint64_t TagAllocator::acquireLockFreeSlow(uint64_t Begin, uint64_t End,
 
 uint64_t TagAllocator::acquireTwoTier(uint64_t Begin, uint64_t End) {
   // Steps 1-2: shard by (begin/16) mod k; retrieve or create the
-  // {referenceNum, mutexAddr} tuple under the table lock.
-  TagTable::EntryRef Entry = Table.lookupOrCreate(Begin);
-
-  // Step 3: under the object lock, bump the count and pick the tag.
+  // {referenceNum, mutexAddr} tuple under the table lock. Retry when the
+  // entry died between the map lookup and taking its lock (a concurrent
+  // eraseIfDead): resurrecting an erased entry would strand the refcount
+  // where no release can ever find it.
   mte::TagValue Tag;
-  {
+  for (;;) {
+    TagTable::EntryRef Entry = Table.lookupOrCreate(Begin);
+
+    // Step 3: under the object lock, bump the count and pick the tag.
     std::lock_guard<std::mutex> ObjGuard(Entry->Mutex);
+    if (Entry->Dead)
+      continue;
     ++Entry->RefCount;
     if (Entry->RefCount > 1) {
       // Another native thread already tagged this object: share its tag
       // by loading it back with LDG.
       Tag = mte::ldgTag(Begin);
-      Stats.TagsShared.fetch_add(1, std::memory_order_relaxed);
+      Stats.TagsShared.add();
       allocMetrics().TagsSharedSlow.add();
     } else {
       Tag = generateAndApplyTag(Begin, End);
     }
+    break;
   }
 
   // Step 4: the tagged pointer.
@@ -327,23 +398,38 @@ void TagAllocator::release(uint64_t Begin, uint64_t End,
   Begin = mte::addressOf(Begin);
   End = mte::addressOf(End);
   support::ScopedTrace Trace("TagAllocator.release", "mte4jni");
-  Stats.Releases.fetch_add(1, std::memory_order_relaxed);
+  Stats.Releases.add();
 
   switch (Kind) {
   case TagTableKind::LockFree: {
     support::FlightScope Flight(support::FlightKind::TagRelease);
-    // Fast path: not the last holder — one CAS, no lock. The hint (from
-    // acquire(), via the JNI pin record) skips even the probe; it is
-    // revalidated against Begin inside tryReleaseShared.
-    TagTable::Slot *S = Hint ? Hint : Table.probeSlot(Begin);
-    if (S && TagTable::tryReleaseShared(*S, Begin)) {
+    // Fast path: not the last holder (plain decrement), or a single
+    // holder whose tags may linger (deferred 1->0, resident bit stays) —
+    // either way one CAS, no lock, no tag writes. The hint (from
+    // acquire(), via the JNI pin record) skips even the probe, and the
+    // per-thread memo covers un-nested re-pins that outlive their pin
+    // record; both are revalidated against Begin inside releaseFast.
+    TagTable::Slot *S = Hint;
+    if (S == nullptr)
+      S = static_cast<TagTable::Slot *>(
+          mte::ThreadState::current().tagSlotMemoLookup(MemoOwnerId, Begin));
+    if (S == nullptr)
+      S = Table.probeSlot(Begin);
+    bool Deferred = false;
+    bool OverBudget = false;
+    if (S && Table.releaseFast(*S, Begin, Deferred, &OverBudget)) {
       FastReleaseMetric.add();
+      if (Deferred)
+        allocMetrics().LfReleaseDeferred.add();
       return;
     }
     allocMetrics().LfReleaseSlow.add();
     if (Hint == nullptr)
       countSlowReason(support::TagSlowReason::PinCacheMiss);
-    countSlowReason(classifyReleaseSlow(S, Begin), &Flight);
+    if (OverBudget)
+      countSlowReason(support::TagSlowReason::DeferredReclaim, &Flight);
+    else
+      countSlowReason(classifyReleaseSlow(S, Begin), &Flight);
     releaseLockFreeSlow(Begin, End, Flight);
     return;
   }
@@ -366,7 +452,7 @@ void TagAllocator::releaseLockFreeSlow(uint64_t Begin, uint64_t End,
     bool Contended = false;
     auto Lock = Table.lockShard(Begin, &Contended);
     if (Contended)
-      countSlowReason(support::TagSlowReason::ShardContended);
+      countSlowReason(support::TagSlowReason::ShardLockWait);
     if (TagTable::Slot *S =
             Table.slotLocked(Begin, /*Create=*/false, Lock)) {
       uint64_t St = S->State.load(std::memory_order_acquire);
@@ -375,7 +461,7 @@ void TagAllocator::releaseLockFreeSlow(uint64_t Begin, uint64_t End,
         if (Count == 0) {
           // Already released (double release); tolerated like the paper's
           // "nothing needs to be done" path.
-          Stats.OrphanReleases.fetch_add(1, std::memory_order_relaxed);
+          Stats.OrphanReleases.add();
           allocMetrics().OrphanReleases.add();
           return;
         }
@@ -388,14 +474,18 @@ void TagAllocator::releaseLockFreeSlow(uint64_t Begin, uint64_t End,
             return;
           continue;
         }
-        // Last holder: move to zero first (a racing fast-path increment
-        // makes this CAS fail), then clear the granule tags so the tag
-        // becomes available again and dangling tagged pointers fault.
+        // Exact last holder (deferral off, over budget, or a two-tier
+        // kind): move to {0, resident=0} first — a racing fast-path
+        // increment makes this CAS fail — then clear the granule tags so
+        // the tag becomes available again and dangling tagged pointers
+        // fault immediately, the paper's Algorithm 2 step 3.
         if (S->State.compare_exchange_weak(
                 St, TagTable::packState(TagTable::epochOf(St), 0),
                 std::memory_order_acq_rel, std::memory_order_acquire)) {
           mte::clearTagRange(Begin, End - Begin);
-          Stats.TagsCleared.fetch_add(1, std::memory_order_relaxed);
+          // Refund the publish-time budget charge: the tags left.
+          Table.unchargeResident(Begin, End - Begin);
+          Stats.TagsCleared.add();
           allocMetrics().TagsCleared.add();
           if (EraseDeadEntries)
             Table.tombstoneLocked(*S, Lock);
@@ -415,7 +505,7 @@ void TagAllocator::releaseTwoTier(uint64_t Begin, uint64_t End) {
   // object no Get interface tagged).
   TagTable::EntryRef Entry = Table.lookup(Begin);
   if (!Entry) {
-    Stats.OrphanReleases.fetch_add(1, std::memory_order_relaxed);
+    Stats.OrphanReleases.add();
     allocMetrics().OrphanReleases.add();
     return;
   }
@@ -428,20 +518,43 @@ void TagAllocator::releaseTwoTier(uint64_t Begin, uint64_t End) {
     if (Entry->RefCount == 0) {
       // Already released (double release); tolerated like the paper's
       // "nothing needs to be done" path.
-      Stats.OrphanReleases.fetch_add(1, std::memory_order_relaxed);
+      Stats.OrphanReleases.add();
       allocMetrics().OrphanReleases.add();
       return;
     }
     --Entry->RefCount;
     if (Entry->RefCount == 0) {
       mte::clearTagRange(Begin, End - Begin);
-      Stats.TagsCleared.fetch_add(1, std::memory_order_relaxed);
+      Stats.TagsCleared.add();
       allocMetrics().TagsCleared.add();
       ClearedToZero = true;
     }
   }
   if (ClearedToZero && EraseDeadEntries)
     Table.eraseIfDead(Begin);
+}
+
+bool TagAllocator::reclaimRange(uint64_t Begin, uint64_t End) {
+  (void)End; // the slot remembers its own length
+  Begin = mte::addressOf(Begin);
+  TagTable::ReclaimResult R = Table.reclaimKey(Begin);
+  if (R.Slots == 0)
+    return false;
+  // A reclaim completes what a deferred release postponed, so it is where
+  // tags_cleared catches up: after a full drain TagsGenerated ==
+  // TagsCleared again, exactly as under the paper's eager Algorithm 2.
+  Stats.TagsCleared.add(R.Slots);
+  allocMetrics().TagsCleared.add(R.Slots);
+  return true;
+}
+
+uint64_t TagAllocator::reclaimAll() {
+  TagTable::ReclaimResult R = Table.reclaimAllResident();
+  if (R.Slots > 0) {
+    Stats.TagsCleared.add(R.Slots);
+    allocMetrics().TagsCleared.add(R.Slots);
+  }
+  return R.Slots;
 }
 
 } // namespace mte4jni::core

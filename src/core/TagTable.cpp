@@ -7,7 +7,9 @@
 
 #include "mte4jni/core/TagTable.h"
 
+#include "mte4jni/mte/Instructions.h"
 #include "mte4jni/support/MathExtras.h"
+#include "mte4jni/support/Metrics.h"
 
 #include <algorithm>
 
@@ -26,7 +28,7 @@ const char *tagTableKindName(TagTableKind Kind) {
 }
 
 TagTable::TagTable(unsigned NumTables, TagTableKind Kind,
-                   unsigned SlotsPerShard)
+                   unsigned SlotsPerShard, uint64_t ResidentBudgetBytes)
     : Kind(Kind), NumTables(NumTables) {
   M4J_ASSERT(NumTables > 0, "need at least one hash table");
   if (Kind == TagTableKind::LockFree) {
@@ -35,6 +37,12 @@ TagTable::TagTable(unsigned NumTables, TagTableKind Kind,
     size_t N = support::nextPowerOf2(
         std::max<unsigned>(SlotsPerShard, kProbeWindow));
     SlotMask = N - 1;
+    // Ceil division: a non-zero budget must let every shard defer at
+    // least something, or small budgets would silently disable deferral
+    // on most shards.
+    ShardResidentBudget =
+        ResidentBudgetBytes ? (ResidentBudgetBytes + NumTables - 1) / NumTables
+                            : 0;
   }
   Shards.reserve(NumTables);
   for (unsigned I = 0; I < NumTables; ++I) {
@@ -69,6 +77,9 @@ TagTable::EntryRef TagTable::lookup(uint64_t Begin) {
 void TagTable::eraseIfDead(uint64_t Begin) {
   Shard &S = *Shards[shardIndexOf(Begin)];
   std::lock_guard<std::mutex> TableGuard(S.TableLock);
+  // Accounting rule (see TagTableStats): every keyed slow-path operation
+  // counts one Lookup, whichever representation the key lives in.
+  ++S.Stats.Lookups;
   if (S.Slots && Begin != kEmptyKey && Begin != kTombstoneKey) {
     size_t Home = slotHomeOf(Begin);
     for (unsigned I = 0; I < kProbeWindow; ++I) {
@@ -78,6 +89,10 @@ void TagTable::eraseIfDead(uint64_t Begin) {
         break;
       if (Key != Begin)
         continue;
+      // A lingering slot must give its tags back before the key dies —
+      // the reclaim CAS also bumps the epoch so stalled warm acquires
+      // for this key can never land.
+      reclaimSlotLocked(S, Candidate);
       if (refCountOf(Candidate.State.load(std::memory_order_acquire)) == 0) {
         ++S.Stats.Erases;
         Candidate.Key.store(kTombstoneKey, std::memory_order_release);
@@ -90,9 +105,16 @@ void TagTable::eraseIfDead(uint64_t Begin) {
     return;
   // Entry lock ordering: table lock is held; a concurrent acquirer that
   // already fetched this entry holds (or will take) the object lock, so we
-  // must check the count under it.
-  std::lock_guard<std::mutex> ObjGuard(It->second->Mutex);
-  if (It->second->RefCount == 0) {
+  // must check the count under it. Keep a local reference across the
+  // erase — dropping the map's shared_ptr may destroy the Entry, and its
+  // mutex must stay alive until the guard unlocks it.
+  EntryRef Keep = It->second;
+  std::lock_guard<std::mutex> ObjGuard(Keep->Mutex);
+  if (Keep->RefCount == 0) {
+    // Mark dead under the object lock so an acquirer that fetched this
+    // entry before the erase (and will lock it after) retries instead of
+    // resurrecting an entry the map no longer reaches.
+    Keep->Dead = true;
     ++S.Stats.Erases;
     S.Map.erase(It);
   }
@@ -122,9 +144,16 @@ std::unique_lock<std::mutex> TagTable::lockShard(uint64_t Begin,
   std::mutex &M = Shards[shardIndexOf(Begin)]->TableLock;
   std::unique_lock<std::mutex> Lock(M, std::try_to_lock);
   if (!Lock.owns_lock()) {
-    if (Contended != nullptr)
-      *Contended = true;
-    Lock.lock();
+    // First probe failed — the mutex was held at probe time. That alone
+    // is not "had to wait": critical sections here are tens of
+    // nanoseconds, so the holder is often gone immediately. Probe once
+    // more and attribute shard_lock_wait only when we actually fall
+    // through to a blocking lock().
+    if (!Lock.try_lock()) {
+      if (Contended != nullptr)
+        *Contended = true;
+      Lock.lock();
+    }
   }
   return Lock;
 }
@@ -166,14 +195,119 @@ TagTable::Slot *TagTable::slotLocked(uint64_t Begin, bool Create,
 void TagTable::tombstoneLocked(Slot &S,
                                const std::unique_lock<std::mutex> &Lock) {
   M4J_ASSERT(Lock.owns_lock(), "shard mutex not held");
+  Shard &Owner = *Shards[shardIndexOf(S.Key.load(std::memory_order_relaxed))];
+  // Reclaim before the key changes: the next tenant must never inherit
+  // resident tags, and the epoch bump kills stalled warm CASes for the
+  // old key.
+  reclaimSlotLocked(Owner, S);
   M4J_ASSERT(refCountOf(S.State.load(std::memory_order_relaxed)) == 0,
              "tombstoning a live slot");
-  Shard &Owner = *Shards[shardIndexOf(S.Key.load(std::memory_order_relaxed))];
   ++Owner.Stats.Erases;
   S.Key.store(kTombstoneKey, std::memory_order_release);
 }
 
+uint64_t TagTable::reclaimSlotLocked(Shard &Sh, Slot &S) {
+  uint64_t St = S.State.load(std::memory_order_acquire);
+  for (;;) {
+    // Only the lingering state {refcount=0, resident=1} reclaims. A held
+    // slot keeps its tags; a non-resident slot has nothing to clear.
+    if (refCountOf(St) != 0 || !residentOf(St))
+      return 0;
+    // Epoch bump first, tag clear second: once the CAS lands no warm
+    // acquire can succeed (resident bit gone, epoch moved), so nobody can
+    // be handed the tags we are about to erase.
+    if (S.State.compare_exchange_weak(
+            St, packState(epochOf(St) + 1, 0),
+            std::memory_order_acq_rel, std::memory_order_acquire)) {
+      uint64_t Key = S.Key.load(std::memory_order_relaxed);
+      uint64_t Bytes = S.Bytes.load(std::memory_order_relaxed);
+      if (Bytes > 0)
+        mte::clearTagRange(Key, Bytes);
+      Sh.ResidentBytes.fetch_sub(Bytes, std::memory_order_relaxed);
+      support::Metrics::counter("core/tagtable/lockfree/deferred_reclaims")
+          .add();
+      return Bytes;
+    }
+  }
+}
+
+TagTable::ReclaimResult TagTable::reclaimKey(uint64_t Begin) {
+  ReclaimResult R;
+  if (!SlotMask || Begin == kEmptyKey || Begin == kTombstoneKey)
+    return R;
+  // Cheap lock-free pre-check: most freed objects were never pinned (no
+  // slot) or were released exactly (not resident). Only a genuine
+  // lingering hit pays the shard mutex.
+  Slot *Probe = probeSlot(Begin);
+  if (Probe == nullptr)
+    return R;
+  uint64_t St = Probe->State.load(std::memory_order_acquire);
+  if (refCountOf(St) != 0 || !residentOf(St))
+    return R;
+  auto Lock = lockShard(Begin);
+  if (Slot *S = slotLocked(Begin, /*Create=*/false, Lock)) {
+    uint64_t Bytes = reclaimSlotLocked(*Shards[shardIndexOf(Begin)], *S);
+    if (Bytes > 0) {
+      R.Slots = 1;
+      R.Bytes = Bytes;
+    }
+  }
+  return R;
+}
+
+TagTable::ReclaimResult TagTable::reclaimAllResident() {
+  ReclaimResult R;
+  for (const auto &Sh : Shards) {
+    if (!Sh->Slots)
+      continue;
+    std::lock_guard<std::mutex> Guard(Sh->TableLock);
+    for (size_t I = 0; I <= SlotMask; ++I) {
+      uint64_t Key = Sh->Slots[I].Key.load(std::memory_order_relaxed);
+      if (Key == kEmptyKey || Key == kTombstoneKey)
+        continue;
+      uint64_t Bytes = reclaimSlotLocked(*Sh, Sh->Slots[I]);
+      if (Bytes > 0) {
+        ++R.Slots;
+        R.Bytes += Bytes;
+      }
+    }
+  }
+  return R;
+}
+
+uint64_t TagTable::residentBytes() const {
+  uint64_t Total = 0;
+  for (const auto &Sh : Shards)
+    Total += Sh->ResidentBytes.load(std::memory_order_relaxed);
+  return Total;
+}
+
 size_t TagTable::liveEntries() const {
+  size_t Total = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Guard(S->TableLock);
+    for (const auto &[Key, Entry] : S->Map)
+      if (Entry->RefCount.load(std::memory_order_relaxed) > 0)
+        ++Total;
+    if (S->Slots)
+      for (size_t I = 0; I <= SlotMask; ++I) {
+        uint64_t Key = S->Slots[I].Key.load(std::memory_order_relaxed);
+        if (Key == kEmptyKey || Key == kTombstoneKey)
+          continue;
+        uint64_t St = S->Slots[I].State.load(std::memory_order_relaxed);
+        // refcount > 0: held. refcount 0 + resident: lingering (tags
+        // still in place). Claimed slots at {0, resident=0} — released
+        // exactly, or mid-insert before the first-holder store — are
+        // occupancy, not liveness; counting them made LockFree disagree
+        // with TwoTierMutex for identical workloads.
+        if (refCountOf(St) > 0 || residentOf(St))
+          ++Total;
+      }
+  }
+  return Total;
+}
+
+size_t TagTable::occupiedEntries() const {
   size_t Total = 0;
   for (const auto &S : Shards) {
     std::lock_guard<std::mutex> Guard(S->TableLock);

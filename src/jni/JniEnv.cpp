@@ -142,7 +142,10 @@ void JniEnv::releaseObject(rt::ObjectHeader *Obj, const char *Interface,
   Info.Interface = Interface;
   // Hand the acquire-time cookie back to the policy. A release through a
   // different env (or of never-acquired bits) finds no record and passes
-  // null — the policy falls back to its own table lookup.
+  // null — the policy falls back to its own table lookup: first the
+  // per-thread slot memo (which remembers recently pinned ranges across
+  // un-nested Get/Release pairs, where this per-env map has already
+  // forgotten them), then a fresh probe.
   void *Cookie = nullptr;
   auto Pin = Pins.find(Bits);
   if (Pin != Pins.end()) {

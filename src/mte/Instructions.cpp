@@ -139,4 +139,15 @@ void clearTagRange(uint64_t Addr, uint64_t Bytes) {
   storeTags(Begin, (End - Begin) >> kGranuleShift, 0);
 }
 
+uint64_t taggedGranulesIn(uint64_t Addr, uint64_t Bytes) {
+  if (Bytes == 0)
+    return 0;
+  MteSystem &System = MteSystem::instance();
+  RegionPin Pin(System);
+  const TaggedRegion *Region = Pin->find(addressOf(Addr));
+  if (Region == nullptr)
+    return 0;
+  return Region->countTagged(addressOf(Addr), addressOf(Addr) + Bytes);
+}
+
 } // namespace mte4jni::mte

@@ -156,4 +156,19 @@ uint64_t TaggedRegion::findMismatch(uint64_t FirstIdx, uint64_t LastIdx,
   return Off == UINT64_MAX ? UINT64_MAX : FirstIdx + Off;
 }
 
+uint64_t TaggedRegion::countTagged(uint64_t From, uint64_t To) const {
+  From = std::max(From, Begin);
+  To = std::min(To, End);
+  if (From >= To)
+    return 0;
+  uint64_t First = granuleIndex(support::alignDown(From, kGranuleSize), Begin);
+  uint64_t Last = granuleIndex(support::alignTo(To, kGranuleSize), Begin);
+  // Diagnostic-only: a scalar pass is fine here; the hot scans above stay
+  // vectorised.
+  uint64_t Count = 0;
+  for (uint64_t I = First; I < Last; ++I)
+    Count += Tags[I] != 0;
+  return Count;
+}
+
 } // namespace mte4jni::mte

@@ -240,6 +240,10 @@ void GcController::sweep(GcResult &Result) {
             return;
           Bytes += Obj->SizeBytes;
           ++Objects;
+          // free() fires the heap's freed-range hook, which reclaims any
+          // lingering (deferred tag-clear) tags on the payload — a swept
+          // object must never keep a valid granule tag, or a dangling
+          // native pointer into it would still pass the check.
           RT.heap().free(Obj);
         });
     FreedObjects.fetch_add(Objects, std::memory_order_relaxed);

@@ -370,6 +370,7 @@ void JavaHeap::free(ObjectHeader *Obj) {
     statAdd(St.ObjectsFreed, 1, Shard);
     if (Config.TagOnAlloc && Size > sizeof(ObjectHeader))
       mte::clearTagRange(Obj->dataAddress(), Size - sizeof(ObjectHeader));
+    notifyFreedRange(Obj, Size);
     Obj->ClassWord = 0xDEADDEAD;
     SeedFree[Size].push_back(Addr);
     return;
@@ -387,6 +388,9 @@ void JavaHeap::free(ObjectHeader *Obj) {
 
   if (Config.TagOnAlloc && Size > sizeof(ObjectHeader))
     mte::clearTagRange(Obj->dataAddress(), Size - sizeof(ObjectHeader));
+  // A dead object must not keep valid granule tags: give the tag
+  // allocator its chance to reclaim a deferred (lingering) tag-clear.
+  notifyFreedRange(Obj, Size);
   // Poison the header so stale references are recognisable in tests.
   Obj->ClassWord = 0xDEADDEAD;
 
@@ -446,6 +450,11 @@ std::vector<std::pair<ObjectHeader *, ObjectHeader *>> JavaHeap::compact() {
     bool HasPayload = Size > sizeof(ObjectHeader);
     if (Config.TagOnAlloc && HasPayload)
       Tag = mte::ldgTag(Obj->dataAddress());
+    // The object leaves this address: reclaim any lingering JNI tag on
+    // the old payload before fresh allocations land here, or they would
+    // start life with a valid-looking foreign tag. (Pinned objects never
+    // reach this branch, so a moved object can have no live holder.)
+    notifyFreedRange(Obj, Size);
     std::memmove(reinterpret_cast<void *>(Target), Obj, Size);
     auto *NewObj = reinterpret_cast<ObjectHeader *>(Target);
     if (Config.TagOnAlloc && HasPayload) {

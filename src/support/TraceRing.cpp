@@ -58,14 +58,16 @@ const char *tagSlowReasonName(TagSlowReason Reason) {
     return "last_holder";
   case TagSlowReason::SlotRecycled:
     return "slot_recycled";
-  case TagSlowReason::ShardContended:
-    return "shard_contended";
+  case TagSlowReason::ShardLockWait:
+    return "shard_lock_wait";
   case TagSlowReason::OverflowSpill:
     return "overflow_spill";
   case TagSlowReason::PinCacheMiss:
     return "pin_cache_miss";
   case TagSlowReason::Orphan:
     return "orphan";
+  case TagSlowReason::DeferredReclaim:
+    return "deferred_reclaim";
   case TagSlowReason::kNumReasons:
     break;
   }
@@ -210,9 +212,9 @@ const char *flightEventName(FlightKind Kind, uint8_t Arg) {
     case TagSlowReason::SlotRecycled:
       return Acq ? "TagTable.acquire.slow:slot_recycled"
                  : "TagTable.release.slow:slot_recycled";
-    case TagSlowReason::ShardContended:
-      return Acq ? "TagTable.acquire.slow:shard_contended"
-                 : "TagTable.release.slow:shard_contended";
+    case TagSlowReason::ShardLockWait:
+      return Acq ? "TagTable.acquire.slow:shard_lock_wait"
+                 : "TagTable.release.slow:shard_lock_wait";
     case TagSlowReason::OverflowSpill:
       return Acq ? "TagTable.acquire.slow:overflow_spill"
                  : "TagTable.release.slow:overflow_spill";
@@ -220,6 +222,8 @@ const char *flightEventName(FlightKind Kind, uint8_t Arg) {
       return "TagTable.release.slow:pin_cache_miss";
     case TagSlowReason::Orphan:
       return "TagTable.release.slow:orphan";
+    case TagSlowReason::DeferredReclaim:
+      return "TagTable.release.slow:deferred_reclaim";
     case TagSlowReason::kNumReasons:
       break;
     }

@@ -52,6 +52,20 @@ protected:
   std::unique_ptr<mte::TaggedArena> Arena;
 };
 
+/// Options for the paper's exact Algorithm 2 semantics: the last release
+/// clears granule tags immediately. The tests that assert clear-on-release
+/// behaviour use this; deferred-clear semantics get their own tests below.
+core::TagAllocatorOptions exactOptions(LockScheme Scheme,
+                                       unsigned NumTables = 16,
+                                       bool EraseDeadEntries = false) {
+  core::TagAllocatorOptions Options;
+  Options.Locks = Scheme;
+  Options.NumTables = NumTables;
+  Options.EraseDeadEntries = EraseDeadEntries;
+  Options.DeferredTagClear = false;
+  return Options;
+}
+
 TEST_P(TagAllocatorTest, FirstAcquireGeneratesAndAppliesTag) {
   TagAllocator Alloc(GetParam());
   uint64_t Begin = allocRange(64);
@@ -64,46 +78,46 @@ TEST_P(TagAllocatorTest, FirstAcquireGeneratesAndAppliesTag) {
   for (int G = 0; G < 4; ++G)
     EXPECT_EQ(mte::ldgTag(Begin + G * 16), Tag);
 
-  EXPECT_EQ(Alloc.stats().TagsGenerated.load(), 1u);
-  EXPECT_EQ(Alloc.stats().TagsShared.load(), 0u);
+  EXPECT_EQ(Alloc.stats().TagsGenerated.value(), 1u);
+  EXPECT_EQ(Alloc.stats().TagsShared.value(), 0u);
 }
 
 TEST_P(TagAllocatorTest, SecondAcquireSharesTheTag) {
-  TagAllocator Alloc(GetParam());
+  TagAllocator Alloc(exactOptions(GetParam()));
   uint64_t Begin = allocRange(128);
 
   uint64_t Bits1 = Alloc.acquire(Begin, Begin + 128);
   uint64_t Bits2 = Alloc.acquire(Begin, Begin + 128);
   EXPECT_EQ(Bits1, Bits2); // same tag, same address
-  EXPECT_EQ(Alloc.stats().TagsGenerated.load(), 1u);
-  EXPECT_EQ(Alloc.stats().TagsShared.load(), 1u);
+  EXPECT_EQ(Alloc.stats().TagsGenerated.value(), 1u);
+  EXPECT_EQ(Alloc.stats().TagsShared.value(), 1u);
 
   // Releasing once keeps the tag (refcount 2 -> 1).
   Alloc.release(Begin, Begin + 128);
   EXPECT_EQ(mte::ldgTag(Begin), mte::pointerTagOf(Bits1));
-  EXPECT_EQ(Alloc.stats().TagsCleared.load(), 0u);
+  EXPECT_EQ(Alloc.stats().TagsCleared.value(), 0u);
 
   // Last release clears it.
   Alloc.release(Begin, Begin + 128);
   EXPECT_EQ(mte::ldgTag(Begin), 0);
-  EXPECT_EQ(Alloc.stats().TagsCleared.load(), 1u);
+  EXPECT_EQ(Alloc.stats().TagsCleared.value(), 1u);
 }
 
 TEST_P(TagAllocatorTest, ReleaseWithoutAcquireIsANoOp) {
   TagAllocator Alloc(GetParam());
   uint64_t Begin = allocRange(32);
   Alloc.release(Begin, Begin + 32);
-  EXPECT_EQ(Alloc.stats().OrphanReleases.load(), 1u);
-  EXPECT_EQ(Alloc.stats().TagsCleared.load(), 0u);
+  EXPECT_EQ(Alloc.stats().OrphanReleases.value(), 1u);
+  EXPECT_EQ(Alloc.stats().TagsCleared.value(), 0u);
 }
 
 TEST_P(TagAllocatorTest, DoubleReleaseIsTolerated) {
-  TagAllocator Alloc(GetParam());
+  TagAllocator Alloc(exactOptions(GetParam()));
   uint64_t Begin = allocRange(32);
   Alloc.acquire(Begin, Begin + 32);
   Alloc.release(Begin, Begin + 32);
   Alloc.release(Begin, Begin + 32); // entry gone or count already 0
-  EXPECT_EQ(Alloc.stats().TagsCleared.load(), 1u);
+  EXPECT_EQ(Alloc.stats().TagsCleared.value(), 1u);
 }
 
 TEST_P(TagAllocatorTest, EntryKeptByDefaultErasedOnRequest) {
@@ -111,14 +125,15 @@ TEST_P(TagAllocatorTest, EntryKeptByDefaultErasedOnRequest) {
   TagAllocator Keep(GetParam());
   uint64_t Begin = allocRange(32);
   Keep.acquire(Begin, Begin + 32);
-  EXPECT_EQ(Keep.table().liveEntries(), 1u);
+  EXPECT_EQ(Keep.table().occupiedEntries(), 1u);
   Keep.release(Begin, Begin + 32);
-  EXPECT_EQ(Keep.table().liveEntries(), 1u);
-  // ...but the allocator can be asked to trim dead entries.
-  TagAllocator Erase(GetParam(), 16, /*EraseDeadEntries=*/true);
+  EXPECT_EQ(Keep.table().occupiedEntries(), 1u);
+  // ...but the allocator can be asked to trim dead entries (exact mode:
+  // a deferred release never reaches the erase path by design).
+  TagAllocator Erase(exactOptions(GetParam(), 16, /*EraseDeadEntries=*/true));
   Erase.acquire(Begin, Begin + 32);
   Erase.release(Begin, Begin + 32);
-  EXPECT_EQ(Erase.table().liveEntries(), 0u);
+  EXPECT_EQ(Erase.table().occupiedEntries(), 0u);
 }
 
 TEST_P(TagAllocatorTest, UseAfterReleaseFaults) {
@@ -127,7 +142,7 @@ TEST_P(TagAllocatorTest, UseAfterReleaseFaults) {
   MteSystem::instance().setProcessCheckMode(mte::CheckMode::Sync);
   mte::ThreadState::current().setTco(false);
 
-  TagAllocator Alloc(GetParam());
+  TagAllocator Alloc(exactOptions(GetParam()));
   uint64_t Begin = allocRange(64);
   uint64_t Bits = Alloc.acquire(Begin, Begin + 64);
   auto P = mte::TaggedPtr<int32_t>::fromBits(Bits);
@@ -141,7 +156,7 @@ TEST_P(TagAllocatorTest, UseAfterReleaseFaults) {
 }
 
 TEST_P(TagAllocatorTest, DistinctObjectsGetIndependentTags) {
-  TagAllocator Alloc(GetParam());
+  TagAllocator Alloc(exactOptions(GetParam()));
   // With 4-bit tags collisions are expected; just verify independence of
   // refcounts and ranges.
   uint64_t A = allocRange(64);
@@ -177,14 +192,20 @@ TEST_P(TagAllocatorTest, ConcurrentAcquireReleaseOnSameObject) {
   for (auto &T : Threads)
     T.join();
 
-  EXPECT_EQ(Alloc.stats().Acquires.load(), uint64_t(kThreads) * kIters);
-  EXPECT_EQ(Alloc.stats().Releases.load(), uint64_t(kThreads) * kIters);
+  EXPECT_EQ(Alloc.stats().Acquires.value(), uint64_t(kThreads) * kIters);
+  EXPECT_EQ(Alloc.stats().Releases.value(), uint64_t(kThreads) * kIters);
+  // Deferred clear (on by default for the lock-free kind) may leave the
+  // last release's tags lingering; drain before the exactness asserts.
+  Alloc.reclaimAll();
   EXPECT_EQ(Alloc.table().liveEntries(), 0u);
   EXPECT_EQ(mte::ldgTag(Begin), 0);
   // Shared + generated must cover all acquires.
-  EXPECT_EQ(Alloc.stats().TagsGenerated.load() +
-                Alloc.stats().TagsShared.load(),
+  EXPECT_EQ(Alloc.stats().TagsGenerated.value() +
+                Alloc.stats().TagsShared.value(),
             uint64_t(kThreads) * kIters);
+  // Every generated tag is eventually cleared once resident tags drain.
+  EXPECT_EQ(Alloc.stats().TagsGenerated.value(),
+            Alloc.stats().TagsCleared.value());
 }
 
 TEST_P(TagAllocatorTest, ConcurrentDisjointObjects) {
@@ -209,6 +230,7 @@ TEST_P(TagAllocatorTest, ConcurrentDisjointObjects) {
   }
   for (auto &T : Threads)
     T.join();
+  Alloc.reclaimAll();
   EXPECT_EQ(Alloc.table().liveEntries(), 0u);
 }
 
@@ -244,7 +266,10 @@ TEST(TagTableTest, LookupOrCreateIsIdempotent) {
   auto A = Table.lookupOrCreate(0x1000);
   auto B = Table.lookupOrCreate(0x1000);
   EXPECT_EQ(A.get(), B.get());
-  EXPECT_EQ(Table.liveEntries(), 1u);
+  // Structural occupancy: the entry exists even though nobody holds it
+  // yet (liveEntries would be 0 here — it counts holders, not storage).
+  EXPECT_EQ(Table.occupiedEntries(), 1u);
+  EXPECT_EQ(Table.liveEntries(), 0u);
   EXPECT_EQ(Table.stats().Creates, 1u);
 }
 
@@ -259,13 +284,192 @@ TEST(TagTableTest, EraseIfDeadRespectsRefCount) {
   EXPECT_EQ(Table.liveEntries(), 0u);
 }
 
+TEST(TagTableTest, StatsAccountingIsExactTwoTier) {
+  // The documented rules: every keyed operation that consults a shard
+  // under its table lock counts exactly one Lookup (including eraseIfDead,
+  // which historically counted none); Creates/Erases one per entry.
+  TagTable Table(4);
+  Table.lookupOrCreate(0x1000); // Lookups 1, Creates 1
+  Table.lookupOrCreate(0x1000); // Lookups 2
+  Table.lookup(0x1000);         // Lookups 3
+  Table.lookup(0x2000);         // Lookups 4 — a miss is still one lookup
+  Table.eraseIfDead(0x1000);    // Lookups 5, Erases 1 (refcount is 0)
+  Table.eraseIfDead(0x1000);    // Lookups 6 — absent, nothing to erase
+  core::TagTableStats S = Table.stats();
+  EXPECT_EQ(S.Lookups, 6u);
+  EXPECT_EQ(S.Creates, 1u);
+  EXPECT_EQ(S.Erases, 1u);
+}
+
+TEST(TagTableTest, StatsAccountingIsExactLockFree) {
+  TagTable Table(1, core::TagTableKind::LockFree, 64);
+  {
+    auto Lock = Table.lockShard(0x1000);
+    ASSERT_NE(Table.slotLocked(0x1000, /*Create=*/true, Lock),
+              nullptr);                              // Lookups 1, Creates 1
+    Table.slotLocked(0x1000, /*Create=*/true, Lock); // Lookups 2
+  }
+  Table.eraseIfDead(0x1000); // Lookups 3, Erases 1 (tombstone)
+  Table.eraseIfDead(0x1000); // Lookups 4 — already tombstoned
+  core::TagTableStats S = Table.stats();
+  EXPECT_EQ(S.Lookups, 4u);
+  EXPECT_EQ(S.Creates, 1u);
+  EXPECT_EQ(S.Erases, 1u);
+}
+
 TEST(TagTableTest, WorksWithNonDefaultTableCounts) {
   for (unsigned K : {1u, 2u, 7u, 64u}) {
     TagTable Table(K);
     for (uint64_t Addr = 0; Addr < 64 * 16; Addr += 16)
       Table.lookupOrCreate(Addr);
-    EXPECT_EQ(Table.liveEntries(), 64u);
+    EXPECT_EQ(Table.occupiedEntries(), 64u);
   }
+}
+
+// ---- Deferred tag-clear (lingering) semantics ------------------------------
+
+class DeferredTagClearTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    MteSystem::instance().reset();
+    Arena = std::make_unique<mte::TaggedArena>(4 << 20);
+  }
+  void TearDown() override {
+    Arena.reset();
+    MteSystem::instance().reset();
+  }
+
+  uint64_t allocRange(uint64_t Bytes) {
+    void *P = Arena->allocate(Bytes);
+    EXPECT_NE(P, nullptr);
+    return reinterpret_cast<uint64_t>(P);
+  }
+
+  std::unique_ptr<mte::TaggedArena> Arena;
+};
+
+TEST_F(DeferredTagClearTest, ReleaseLeavesTagsResidentUntilReclaim) {
+  // Deferral is the lock-free default.
+  TagAllocator Alloc(core::TagTableKind::LockFree);
+  ASSERT_TRUE(Alloc.deferredTagClear());
+  uint64_t Begin = allocRange(64);
+
+  uint64_t Bits = Alloc.acquire(Begin, Begin + 64);
+  // The first holder's publish charges the budget for the tags' whole
+  // residency, so the charge is visible from the acquire onward.
+  EXPECT_EQ(Alloc.table().residentBytes(), 64u);
+  Alloc.release(Begin, Begin + 64);
+  // Lingering: tags in place, bytes still charged, nothing cleared yet.
+  EXPECT_EQ(mte::ldgTag(Begin), mte::pointerTagOf(Bits));
+  EXPECT_EQ(Alloc.table().residentBytes(), 64u);
+  EXPECT_EQ(Alloc.stats().TagsCleared.value(), 0u);
+
+  // Warm re-acquire: same tag, shared (not regenerated). The charge stays
+  // in place — only clearing the tags refunds it — which is what keeps
+  // the warm cycle down to one CAS per direction.
+  uint64_t Bits2 = Alloc.acquire(Begin, Begin + 64);
+  EXPECT_EQ(Bits2, Bits);
+  EXPECT_EQ(Alloc.stats().TagsGenerated.value(), 1u);
+  EXPECT_EQ(Alloc.stats().TagsShared.value(), 1u);
+  EXPECT_EQ(Alloc.table().residentBytes(), 64u);
+  Alloc.release(Begin, Begin + 64);
+
+  // Reclaim drains the lingering state and settles the clear accounting.
+  EXPECT_EQ(Alloc.reclaimAll(), 1u);
+  EXPECT_EQ(mte::ldgTag(Begin), 0);
+  EXPECT_EQ(Alloc.table().residentBytes(), 0u);
+  EXPECT_EQ(Alloc.stats().TagsCleared.value(), 1u);
+  EXPECT_EQ(Alloc.table().liveEntries(), 0u);
+}
+
+TEST_F(DeferredTagClearTest, ReclaimRangeTargetsOneKey) {
+  TagAllocator Alloc(core::TagTableKind::LockFree);
+  uint64_t A = allocRange(64);
+  uint64_t B = allocRange(64);
+  uint64_t BitsA = Alloc.acquire(A, A + 64);
+  uint64_t BitsB = Alloc.acquire(B, B + 64);
+  Alloc.release(A, A + 64);
+  Alloc.release(B, B + 64);
+
+  EXPECT_TRUE(Alloc.reclaimRange(A, A + 64));
+  EXPECT_EQ(mte::ldgTag(A), 0);
+  EXPECT_EQ(mte::ldgTag(B), mte::pointerTagOf(BitsB)); // B still lingers
+  EXPECT_FALSE(Alloc.reclaimRange(A, A + 64)); // nothing left to reclaim
+  EXPECT_TRUE(Alloc.reclaimRange(B, B + 64));
+  EXPECT_EQ(mte::ldgTag(B), 0);
+  (void)BitsA;
+}
+
+TEST_F(DeferredTagClearTest, ReclaimLeavesHeldRangesAlone) {
+  TagAllocator Alloc(core::TagTableKind::LockFree);
+  uint64_t Begin = allocRange(64);
+  uint64_t Bits = Alloc.acquire(Begin, Begin + 64);
+  EXPECT_FALSE(Alloc.reclaimRange(Begin, Begin + 64)); // held, not lingering
+  EXPECT_EQ(mte::ldgTag(Begin), mte::pointerTagOf(Bits));
+  Alloc.release(Begin, Begin + 64);
+}
+
+TEST_F(DeferredTagClearTest, DisabledReproducesExactAlgorithm2) {
+  core::TagAllocatorOptions Options;
+  Options.Locks = core::TagTableKind::LockFree;
+  Options.DeferredTagClear = false;
+  TagAllocator Alloc(Options);
+  ASSERT_FALSE(Alloc.deferredTagClear());
+  uint64_t Begin = allocRange(64);
+
+  Alloc.acquire(Begin, Begin + 64);
+  Alloc.release(Begin, Begin + 64);
+  // Exact semantics: the last release cleared the tags synchronously.
+  EXPECT_EQ(mte::ldgTag(Begin), 0);
+  EXPECT_EQ(Alloc.table().residentBytes(), 0u);
+  EXPECT_EQ(Alloc.stats().TagsCleared.value(), 1u);
+  EXPECT_EQ(Alloc.reclaimAll(), 0u); // nothing ever lingers
+}
+
+TEST_F(DeferredTagClearTest, BudgetOverflowFallsBackToExactClear) {
+  core::TagAllocatorOptions Options;
+  Options.Locks = core::TagTableKind::LockFree;
+  Options.NumTables = 1; // one shard, so the budget is not split
+  Options.MaxResidentBytes = 100; // fits one 64-byte range, not two
+  TagAllocator Alloc(Options);
+
+  uint64_t A = allocRange(64);
+  uint64_t B = allocRange(64);
+  uint64_t BitsA = Alloc.acquire(A, A + 64);
+  Alloc.release(A, A + 64); // defers: resident 64 <= 100
+  EXPECT_EQ(mte::ldgTag(A), mte::pointerTagOf(BitsA));
+  EXPECT_EQ(Alloc.table().residentBytes(), 64u);
+
+  // B's publish pushes the shard to 128 resident bytes, over budget: its
+  // release falls back to the exact clear (and refunds B's charge).
+  Alloc.acquire(B, B + 64);
+  EXPECT_EQ(Alloc.table().residentBytes(), 128u);
+  Alloc.release(B, B + 64);
+  EXPECT_EQ(mte::ldgTag(B), 0);
+  EXPECT_EQ(Alloc.table().residentBytes(), 64u);
+  EXPECT_EQ(Alloc.stats().TagsCleared.value(), 1u);
+}
+
+TEST_F(DeferredTagClearTest, UseAfterReleaseDetectedOnceReclaimed) {
+  MteSystem::instance().setProcessCheckMode(mte::CheckMode::Sync);
+  mte::ThreadState::current().setTco(false);
+
+  TagAllocator Alloc(core::TagTableKind::LockFree);
+  uint64_t Begin = allocRange(64);
+  uint64_t Bits = Alloc.acquire(Begin, Begin + 64);
+  auto P = mte::TaggedPtr<int32_t>::fromBits(Bits);
+
+  Alloc.release(Begin, Begin + 64);
+  // The documented detection gap: inside the lingering window a dangling
+  // tagged pointer still matches. This is the tradeoff DeferredTagClear
+  // buys speed with (and why the heap's free/sweep hook is mandatory).
+  mte::store<int32_t>(P, 42);
+  EXPECT_EQ(MteSystem::instance().faultLog().totalCount(), 0u);
+
+  // Once reclaimed — the freed-object hook path — the access faults.
+  ASSERT_TRUE(Alloc.reclaimRange(Begin, Begin + 64));
+  mte::store<int32_t>(P, 43);
+  EXPECT_EQ(MteSystem::instance().faultLog().totalCount(), 1u);
 }
 
 } // namespace

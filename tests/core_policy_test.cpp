@@ -41,8 +41,17 @@ protected:
   std::unique_ptr<mte::TaggedArena> Arena;
 };
 
+/// Options pinning the paper's exact Algorithm 2 semantics (last release
+/// clears tags immediately); the deferred-clear default gets its own
+/// coverage in core_allocator_test and integration_gc_test.
+static Mte4JniOptions exactClearOptions() {
+  Mte4JniOptions Options;
+  Options.DeferredTagClear = false;
+  return Options;
+}
+
 TEST_F(CorePolicyTest, AcquireReturnsDirectTaggedPointer) {
-  Mte4JniPolicy Policy;
+  Mte4JniPolicy Policy(exactClearOptions());
   void *Data = Arena->allocate(64);
   bool IsCopy = true;
   uint64_t Bits = Policy.acquire(infoFor(Data, 64), IsCopy);
@@ -56,7 +65,7 @@ TEST_F(CorePolicyTest, AcquireReturnsDirectTaggedPointer) {
 }
 
 TEST_F(CorePolicyTest, JniCommitKeepsTagAlive) {
-  Mte4JniPolicy Policy;
+  Mte4JniPolicy Policy(exactClearOptions());
   void *Data = Arena->allocate(64);
   bool IsCopy;
   uint64_t Bits = Policy.acquire(infoFor(Data, 64), IsCopy);
@@ -96,7 +105,7 @@ TEST_F(CorePolicyTest, ScratchExhaustionReturnsZero) {
 }
 
 TEST_F(CorePolicyTest, ConcurrentHoldersShareTag) {
-  Mte4JniPolicy Policy;
+  Mte4JniPolicy Policy(exactClearOptions());
   void *Data = Arena->allocate(256);
   bool IsCopy;
   uint64_t Bits1 = Policy.acquire(infoFor(Data, 256), IsCopy);

@@ -86,15 +86,17 @@ TEST_F(TagTableConcurrentTest, ResurrectionRaceOnOneObject) {
     T.join();
 
   const auto &Stats = Alloc.stats();
-  EXPECT_EQ(Stats.Acquires.load(), uint64_t(kThreads) * kIters);
-  EXPECT_EQ(Stats.Releases.load(), uint64_t(kThreads) * kIters);
+  EXPECT_EQ(Stats.Acquires.value(), uint64_t(kThreads) * kIters);
+  EXPECT_EQ(Stats.Releases.value(), uint64_t(kThreads) * kIters);
   // Balanced acquire/release means a refcount that never went negative:
   // no release ever found the count at zero.
-  EXPECT_EQ(Stats.OrphanReleases.load(), 0u);
-  // Every generated tag was eventually cleared by a last holder.
-  EXPECT_EQ(Stats.TagsGenerated.load(), Stats.TagsCleared.load());
-  EXPECT_EQ(Stats.TagsGenerated.load() + Stats.TagsShared.load(),
-            Stats.Acquires.load());
+  EXPECT_EQ(Stats.OrphanReleases.value(), 0u);
+  // Drain the deferred (lingering) tags, then every generated tag has
+  // been cleared by an exact last holder or a reclaim.
+  Alloc.reclaimAll();
+  EXPECT_EQ(Stats.TagsGenerated.value(), Stats.TagsCleared.value());
+  EXPECT_EQ(Stats.TagsGenerated.value() + Stats.TagsShared.value(),
+            Stats.Acquires.value());
   EXPECT_EQ(Alloc.table().liveEntries(), 0u);
   EXPECT_EQ(mte::ldgTag(Begin), 0);
 }
@@ -134,9 +136,10 @@ TEST_F(TagTableConcurrentTest, MixedObjectsConvergeToEmpty) {
   for (auto &T : Threads)
     T.join();
 
-  EXPECT_EQ(Alloc.stats().OrphanReleases.load(), 0u);
-  EXPECT_EQ(Alloc.stats().TagsGenerated.load(),
-            Alloc.stats().TagsCleared.load());
+  EXPECT_EQ(Alloc.stats().OrphanReleases.value(), 0u);
+  Alloc.reclaimAll();
+  EXPECT_EQ(Alloc.stats().TagsGenerated.value(),
+            Alloc.stats().TagsCleared.value());
   EXPECT_EQ(Alloc.table().liveEntries(), 0u);
 }
 
@@ -173,9 +176,10 @@ TEST_F(TagTableConcurrentTest, ProbeWindowOverflowSpillsToLockedMap) {
   for (auto &T : Threads)
     T.join();
 
-  EXPECT_EQ(Alloc.stats().OrphanReleases.load(), 0u);
-  EXPECT_EQ(Alloc.stats().TagsGenerated.load(),
-            Alloc.stats().TagsCleared.load());
+  EXPECT_EQ(Alloc.stats().OrphanReleases.value(), 0u);
+  Alloc.reclaimAll();
+  EXPECT_EQ(Alloc.stats().TagsGenerated.value(),
+            Alloc.stats().TagsCleared.value());
   EXPECT_EQ(Alloc.table().liveEntries(), 0u);
   for (uint64_t Begin : Begins)
     EXPECT_EQ(mte::ldgTag(Begin), 0);
@@ -213,10 +217,11 @@ TEST_F(TagTableConcurrentTest, DeepNestingSharesOneTag) {
   // the first acquire... or hit zero between waves; either way at most a
   // handful of distinct tags, never tag 0.
   EXPECT_EQ(TagsSeen.load() & 1u, 0u);
-  EXPECT_EQ(Alloc.stats().OrphanReleases.load(), 0u);
+  EXPECT_EQ(Alloc.stats().OrphanReleases.value(), 0u);
+  Alloc.reclaimAll();
   EXPECT_EQ(mte::ldgTag(Begin), 0);
-  EXPECT_EQ(Alloc.stats().TagsGenerated.load(),
-            Alloc.stats().TagsCleared.load());
+  EXPECT_EQ(Alloc.stats().TagsGenerated.value(),
+            Alloc.stats().TagsCleared.value());
 }
 
 /// Single-threaded sanity for the slot primitives themselves: probe,
@@ -258,6 +263,146 @@ TEST_F(TagTableConcurrentTest, SlotPrimitives) {
   EXPECT_EQ(Table.probeSlot(Begin), nullptr);
   EXPECT_EQ(Table.liveEntries(), 0u);
   EXPECT_EQ(Table.stats().Erases, 1u);
+}
+
+/// The recycle-ABA property under deferred tag-clear: a CAS that stalled
+/// while its slot was lingering for key A must never succeed once the slot
+/// has been reclaimed — let alone after it was tombstoned and reused for a
+/// different key B. The reclaim's epoch bump is what kills it; this test
+/// replays the stalled CAS against every later stage of the slot's life.
+TEST_F(TagTableConcurrentTest, SlotRecycleAbaUnderDeferredClear) {
+  TagTable Table(1, TagTableKind::LockFree, TagTable::kProbeWindow,
+                 /*ResidentBudgetBytes=*/1 << 20);
+  ASSERT_EQ(Table.slotsPerShard(), TagTable::kProbeWindow);
+
+  // Claim every slot of the single shard so the only reusable slot later
+  // is A's tombstone (the probe window spans the whole array, so any new
+  // key's window covers it). Keys come from the arena: reclaim really
+  // clears granule tags, which asserts outside a registered region.
+  const uint64_t Base = allocRange((TagTable::kProbeWindow + 1) * 64);
+  const uint64_t KeyA = Base;
+  TagTable::Slot *SlotA = nullptr;
+  {
+    auto Lock = Table.lockShard(KeyA);
+    SlotA = Table.slotLocked(KeyA, /*Create=*/true, Lock);
+    ASSERT_NE(SlotA, nullptr);
+    for (unsigned I = 1; I < TagTable::kProbeWindow; ++I) {
+      TagTable::Slot *Filler =
+          Table.slotLocked(KeyA + I * 16, /*Create=*/true, Lock);
+      ASSERT_NE(Filler, nullptr);
+      ASSERT_NE(Filler, SlotA);
+      // Keep fillers held so they are never reusable.
+      Filler->State.store(TagTable::packState(1, 1, /*Resident=*/true),
+                          std::memory_order_release);
+    }
+    // A's first holder: tags written, resident, epoch advanced. Publish
+    // charges the resident budget (refunded when the tags are reclaimed).
+    SlotA->Bytes.store(64, std::memory_order_relaxed);
+    Table.chargeResident(KeyA, 64);
+    SlotA->State.store(TagTable::packState(1, 1, /*Resident=*/true),
+                       std::memory_order_release);
+  }
+
+  // Deferred release: {1, resident} -> {0, resident} (lingering).
+  bool Deferred = false;
+  ASSERT_TRUE(Table.releaseFast(*SlotA, KeyA, Deferred));
+  ASSERT_TRUE(Deferred);
+
+  // A thread stalls here: it read the lingering state and passed the key
+  // check, and is about to CAS State -> State+1 (the warm acquire).
+  const uint64_t StalledState =
+      SlotA->State.load(std::memory_order_acquire);
+  ASSERT_EQ(TagTable::refCountOf(StalledState), 0u);
+  ASSERT_TRUE(TagTable::residentOf(StalledState));
+
+  auto StalledCasSucceeds = [&] {
+    uint64_t Expected = StalledState;
+    return SlotA->State.compare_exchange_strong(Expected, StalledState + 1,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire);
+  };
+
+  // Stage 1 — reclaim + tombstone: the epoch bump invalidates the stalled
+  // state word even though the refcount is back at 0.
+  {
+    auto Lock = Table.lockShard(KeyA);
+    Table.tombstoneLocked(*SlotA, Lock);
+  }
+  EXPECT_FALSE(StalledCasSucceeds());
+
+  // Stage 2 — a different key reuses the same physical slot.
+  const uint64_t KeyB = Base + TagTable::kProbeWindow * 16;
+  {
+    auto Lock = Table.lockShard(KeyB);
+    TagTable::Slot *SlotB = Table.slotLocked(KeyB, /*Create=*/true, Lock);
+    ASSERT_EQ(SlotB, SlotA); // same slot, new tenant
+    SlotB->Bytes.store(128, std::memory_order_relaxed);
+    Table.chargeResident(KeyB, 128);
+    SlotB->State.store(
+        TagTable::packState(
+            TagTable::epochOf(SlotB->State.load(std::memory_order_relaxed)) +
+                1,
+            1, /*Resident=*/true),
+        std::memory_order_release);
+  }
+  EXPECT_FALSE(StalledCasSucceeds());
+  // And the full fast path agrees: the key is B's now.
+  EXPECT_FALSE(TagTable::tryAcquireShared(*SlotA, KeyA));
+
+  // Stage 3 — B releases (deferred) so the refcount is 0 and the resident
+  // bit is set again: the *shape* of the stalled state recurs, but the
+  // epoch cannot, so the stalled CAS still loses.
+  Deferred = false;
+  ASSERT_TRUE(Table.releaseFast(*SlotA, KeyB, Deferred));
+  ASSERT_TRUE(Deferred);
+  EXPECT_FALSE(StalledCasSucceeds());
+}
+
+/// liveEntries must mean the same thing for all three table kinds: holders
+/// (and, under deferral, lingering tags) — not storage. Before the fix the
+/// lock-free build counted every claimed slot as live, so an identical
+/// workload disagreed across kinds.
+TEST_F(TagTableConcurrentTest, LiveEntriesAgreeAcrossKinds) {
+  constexpr size_t kObjects = 12;
+  std::vector<uint64_t> Begins;
+  for (size_t I = 0; I < kObjects; ++I)
+    Begins.push_back(allocRange(128));
+
+  for (TagTableKind Kind :
+       {TagTableKind::LockFree, TagTableKind::TwoTierMutex,
+        TagTableKind::GlobalLock}) {
+    TagAllocatorOptions Options;
+    Options.Locks = Kind;
+    Options.DeferredTagClear = false; // liveness without lingering
+    TagAllocator Alloc(Options);
+
+    for (uint64_t B : Begins)
+      Alloc.acquire(B, B + 128);
+    EXPECT_EQ(Alloc.table().liveEntries(), kObjects)
+        << core::tagTableKindName(Kind);
+
+    for (size_t I = 0; I < kObjects / 2; ++I)
+      Alloc.release(Begins[I], Begins[I] + 128);
+    EXPECT_EQ(Alloc.table().liveEntries(), kObjects - kObjects / 2)
+        << core::tagTableKindName(Kind);
+
+    for (size_t I = kObjects / 2; I < kObjects; ++I)
+      Alloc.release(Begins[I], Begins[I] + 128);
+    EXPECT_EQ(Alloc.table().liveEntries(), 0u)
+        << core::tagTableKindName(Kind);
+  }
+
+  // With deferral ON, a lingering range still counts as live (its tags
+  // are), and reclaiming converges all kinds to the same answer again.
+  TagAllocatorOptions Options;
+  Options.Locks = TagTableKind::LockFree;
+  TagAllocator Deferred(Options);
+  uint64_t B = Begins[0];
+  Deferred.acquire(B, B + 128);
+  Deferred.release(B, B + 128);
+  EXPECT_EQ(Deferred.table().liveEntries(), 1u); // lingering counts
+  Deferred.reclaimAll();
+  EXPECT_EQ(Deferred.table().liveEntries(), 0u);
 }
 
 } // namespace

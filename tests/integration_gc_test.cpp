@@ -14,6 +14,7 @@
 
 #include "mte4jni/api/Session.h"
 #include "mte4jni/mte/Access.h"
+#include "mte4jni/mte/Instructions.h"
 #include "mte4jni/mte/ThreadState.h"
 
 #include <gtest/gtest.h>
@@ -206,6 +207,56 @@ TEST(GcIntegration, UnrootedButPinnedArraySurvivesNativeUse) {
   S.runtime().gc().collect();
   EXPECT_TRUE(S.runtime().heap().isLiveObject(Array))
       << "pinned object reclaimed while native code held it";
+}
+
+// Regression test for the deferred tag-clear security invariant: a
+// released pin leaves its granule tags lingering (that is the point of the
+// optimisation), but the moment the object is swept, the heap's
+// freed-range hook must reclaim them — a dead object must never keep a
+// valid tag, or a dangling native pointer into it would still pass checks.
+TEST(GcIntegration, SweepReclaimsLingeringDeferredTags) {
+  api::SessionConfig C;
+  C.Protection = api::Scheme::Mte4JniSync;
+  ASSERT_TRUE(C.DeferredTagClear) << "deferral must be the default";
+  api::Session S(C);
+  api::ScopedAttach Main(S, "main");
+
+  uint64_t Payload = 0;
+  {
+    rt::HandleScope Scope(S.runtime());
+    jni::jarray Array = Main.env().NewIntArray(Scope, 256);
+
+    rt::callNative(Main.thread(), rt::NativeKind::Regular, "pinner", [&] {
+      jni::jboolean IsCopy;
+      auto P = Main.env().GetIntArrayElements(Array, &IsCopy);
+      Payload = P.address();
+      Main.env().ReleaseIntArrayElements(Array, P, 0);
+      return 0;
+    });
+
+    // Released, not swept: the tags linger (deferred clear) — the whole
+    // payload, not just the first granule.
+    EXPECT_NE(mte::ldgTag(Payload), 0)
+        << "deferred release should leave tags resident";
+    EXPECT_EQ(mte::taggedGranulesIn(Payload, 256 * sizeof(jni::jint)),
+              (256 * sizeof(jni::jint)) / mte::kGranuleSize);
+    // Scope dies here: the array loses its root.
+  }
+
+  std::thread Gc([&] {
+    S.runtime().attachCurrentThread("HeapTaskDaemon",
+                                    rt::ThreadKind::GcSupport);
+    mte::ThreadState::current().setTco(true);
+    S.runtime().gc().collect();
+    S.runtime().detachCurrentThread();
+  });
+  Gc.join();
+
+  EXPECT_EQ(mte::ldgTag(Payload), 0)
+      << "swept object kept lingering tags — the freed-range hook failed";
+  EXPECT_EQ(mte::taggedGranulesIn(Payload, 256 * sizeof(jni::jint)), 0u)
+      << "every granule of the swept payload must be reclaimed";
+  EXPECT_EQ(S.faults().totalCount(), 0u);
 }
 
 } // namespace

@@ -44,11 +44,12 @@ TEST(Tombstone, SyncFaultHasTagDumpAndAddress) {
   EXPECT_NE(Out.find("test_ofb"), std::string::npos);
   // Bounded metrics excerpt: slow-path attribution + fault-ring depth. The
   // single GetPrimitiveArrayCritical round trip drove the lock-free tag
-  // table once: the acquire probed a cold slot and the release was the
-  // last holder, so both reasons appear in the excerpt.
+  // table once: the acquire probed a cold slot (slot_cold); the release
+  // is a deferred fast path under the default config, so no release
+  // reason is guaranteed to appear.
   EXPECT_NE(Out.find("metrics excerpt:"), std::string::npos);
   EXPECT_NE(Out.find("tagtable slow-path reasons:"), std::string::npos);
-  EXPECT_NE(Out.find("last_holder"), std::string::npos);
+  EXPECT_NE(Out.find("slot_cold"), std::string::npos);
   EXPECT_NE(Out.find("fault ring:"), std::string::npos);
 }
 
