@@ -80,6 +80,26 @@ BenchOptions BenchOptions::parse(int Argc, char **Argv) {
   return Options;
 }
 
+std::string BenchOptions::flagValue(std::string_view Name,
+                                    std::string_view Default) const {
+  std::string Value(Default);
+  std::string Prefix(Name);
+  Prefix += '=';
+  for (const std::string &F : ExtraFlags)
+    if (support::startsWith(F, Prefix))
+      Value = F.substr(Prefix.size());
+  return Value;
+}
+
+uint64_t BenchOptions::flagUnsigned(std::string_view Name,
+                                    uint64_t Default) const {
+  std::string Text = flagValue(Name);
+  uint64_t V;
+  if (!Text.empty() && support::parseUnsigned(Text, V))
+    return V;
+  return Default;
+}
+
 void printBanner(const char *Title, const char *PaperArtifact,
                  const BenchOptions &Options) {
   std::printf("==============================================================="

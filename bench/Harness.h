@@ -54,6 +54,15 @@ struct BenchOptions {
     return false;
   }
 
+  /// Value of a bench-specific "--name=value" flag (last wins), or
+  /// \p Default when absent. \p Name includes the dashes ("--stream").
+  std::string flagValue(std::string_view Name,
+                        std::string_view Default = "") const;
+
+  /// flagValue() parsed as an unsigned integer; \p Default when the flag
+  /// is absent or not a number.
+  uint64_t flagUnsigned(std::string_view Name, uint64_t Default) const;
+
   /// Parses argv; prints usage and exits on --help. Unknown --flags are
   /// collected into ExtraFlags for the individual bench to interpret.
   static BenchOptions parse(int Argc, char **Argv);

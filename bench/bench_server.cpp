@@ -1,0 +1,184 @@
+//===- bench_server.cpp - Tenant-scale server harness benchmark -----------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs the multi-tenant request server (src/server) under each protection
+// scheme and reports sustained throughput plus coordinated-omission-free
+// latency percentiles, per tenant and global. This is the serving-side
+// complement of the paper's batch Geekbench runs (§5.4): instead of asking
+// "how much slower is one clone", it asks "what do MY tenants' p99/p999
+// look like under sustained mixed JNI traffic, and who pays for the GC
+// pauses and tag-check faults".
+//
+// The request mix is Table-1-shaped (array pins, string criticals, region
+// copies) plus a string-critical-heavy HTML parse profile, with an
+// optional trickle of rogue near-OOB reads (--rogue-permille) modelling a
+// buggy native library sharing the process.
+//
+// With --stream=out.jsonl one metrics snapshot per interval is appended
+// while the server runs (all schemes into one file, labelled); inspect
+// live with `m4jstat watch out.jsonl` or after the fact with
+// `m4jstat diff --last out.jsonl`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "mte4jni/server/Server.h"
+
+#include <cstdio>
+
+using namespace mte4jni;
+using namespace mte4jni::bench;
+
+namespace {
+
+struct SchemeRun {
+  api::Scheme Scheme;
+  const char *Name; // row prefix; matches api::schemeName spelling
+};
+
+void addSchemeRows(BenchReport &Report, const char *Scheme,
+                   const server::ServerResult &R) {
+  std::string P = std::string(Scheme) + "/";
+  Report.addRow(P + "requests_per_sec", R.RequestsPerSec, "req/s",
+                R.Requests);
+  Report.addRow(P + "crossings_per_sec", R.CrossingsPerSec, "crossings/s",
+                R.JniCrossings);
+  Report.addRow(P + "faults_per_sec", R.FaultsPerSec, "faults/s", R.Faults);
+  Report.addRow(P + "late_arrivals", double(R.LateArrivals), "count",
+                R.LateArrivals);
+  Report.addRow(P + "mean_ns", R.MeanNanos, "ns");
+  Report.addRow(P + "p50_ns", double(R.P50Nanos), "ns");
+  Report.addRow(P + "p99_ns", double(R.P99Nanos), "ns");
+  Report.addRow(P + "p999_ns", double(R.P999Nanos), "ns");
+  for (const server::TenantSummary &T : R.Tenants) {
+    std::string TP = P + support::format("tenant%u/", T.Tenant);
+    Report.addRow(TP + "requests", double(T.Requests), "count", T.Requests);
+    Report.addRow(TP + "faults", double(T.Faults), "count", T.Faults);
+    Report.addRow(TP + "p50_ns", double(T.P50Nanos), "ns");
+    Report.addRow(TP + "p99_ns", double(T.P99Nanos), "ns");
+    Report.addRow(TP + "p999_ns", double(T.P999Nanos), "ns");
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchOptions Options = BenchOptions::parse(Argc, Argv);
+  printBanner("tenant-scale JNI server: throughput + latency attribution",
+              "serving-side extension of §5.4 (not a paper figure)",
+              Options);
+
+  server::ServerConfig Config;
+  // Default: a modest smoke shape; --paper runs the tenant-scale shape the
+  // checked-in BENCH_server.json uses.
+  Config.NumTenants = Options.PaperScale ? 8 : 4;
+  Config.NumWorkers = Options.PaperScale ? 64 : 8;
+  Config.DurationMillis = Options.PaperScale ? 3000 : (Options.Quick ? 400 : 1000);
+  if (Options.Threads)
+    Config.NumWorkers = Options.Threads;
+  Config.NumTenants = static_cast<unsigned>(
+      Options.flagUnsigned("--tenants", Config.NumTenants));
+  Config.DurationMillis =
+      Options.flagUnsigned("--duration-ms", Config.DurationMillis);
+  Config.TargetRatePerSec =
+      double(Options.flagUnsigned("--rate", 0)); // 0 = closed loop
+  Config.Seed = Options.Seed;
+
+  // --rogue-permille=P: P in 1000 requests are rogue near-OOB reads.
+  // Weights are scaled so the non-rogue mix keeps its internal ratios.
+  uint64_t RoguePermille = Options.flagUnsigned("--rogue-permille", 0);
+  if (RoguePermille > 1000)
+    RoguePermille = 1000;
+  unsigned Scale = static_cast<unsigned>(1000 - RoguePermille);
+  Config.Mix.ArrayPin = 40 * Scale;
+  Config.Mix.StringCritical = 25 * Scale;
+  Config.Mix.RegionCopy = 20 * Scale;
+  Config.Mix.HtmlParse = 15 * Scale;
+  Config.Mix.Rogue = static_cast<unsigned>(100 * RoguePermille);
+
+  std::string StreamPath = Options.flagValue("--stream");
+  uint32_t StreamIntervalMillis = static_cast<uint32_t>(
+      Options.flagUnsigned("--stream-interval-ms", 250));
+
+  const SchemeRun Schemes[] = {
+      {api::Scheme::NoProtection, "unprotected"},
+      {api::Scheme::GuardedCopy, "guarded_copy"},
+      {api::Scheme::Mte4JniSync, "mte4jni_sync"},
+  };
+
+  std::printf("\ntenants=%u workers=%u duration=%llums rate=%s "
+              "rogue=%llu/1000%s%s\n\n",
+              Config.NumTenants, Config.NumWorkers,
+              static_cast<unsigned long long>(Config.DurationMillis),
+              Config.TargetRatePerSec > 0
+                  ? support::format("%.0f req/s", Config.TargetRatePerSec)
+                        .c_str()
+                  : "closed-loop",
+              static_cast<unsigned long long>(RoguePermille),
+              StreamPath.empty() ? "" : " stream=",
+              StreamPath.c_str());
+
+  TablePrinter Table({"scheme", "req/s", "xing/s", "faults/s", "p50 ns",
+                      "p99 ns", "p999 ns", "late"},
+                     {14, 12, 12, 10, 10, 10, 10, 8});
+  Table.printHeader();
+
+  BenchReport Report("server");
+  bool FirstScheme = true;
+  for (const SchemeRun &SR : Schemes) {
+    // Per-scheme counters from zero: the report's embedded metrics
+    // snapshot (taken at write time) then describes the LAST scheme's run
+    // — the MTE4JNI one — including its rt/gc/pause_nanos histogram.
+    support::Metrics::resetAll();
+
+    api::SessionConfig SC;
+    SC.Protection = SR.Scheme;
+    SC.BackgroundGc = true;
+    SC.Seed = Options.Seed;
+    api::Session S(SC);
+
+    server::ServerConfig Run = Config;
+    if (!StreamPath.empty()) {
+      Run.StreamPath = StreamPath;
+      Run.StreamIntervalMillis = StreamIntervalMillis;
+      Run.StreamLabel = SR.Name;
+      Run.StreamAppend = !FirstScheme; // all schemes share one stream file
+    }
+    FirstScheme = false;
+
+    server::ServerResult R = server::runServer(S, Run);
+    Table.printRow({SR.Name, support::format("%.0f", R.RequestsPerSec),
+                    support::format("%.0f", R.CrossingsPerSec),
+                    support::format("%.1f", R.FaultsPerSec),
+                    support::format("%llu",
+                                    (unsigned long long)R.P50Nanos),
+                    support::format("%llu",
+                                    (unsigned long long)R.P99Nanos),
+                    support::format("%llu",
+                                    (unsigned long long)R.P999Nanos),
+                    support::format("%llu",
+                                    (unsigned long long)R.LateArrivals)});
+    for (const server::TenantSummary &T : R.Tenants)
+      std::printf("  tenant%-2u req=%-9llu faults=%-6llu p99=%llu ns\n",
+                  T.Tenant, (unsigned long long)T.Requests,
+                  (unsigned long long)T.Faults,
+                  (unsigned long long)T.P99Nanos);
+    addSchemeRows(Report, SR.Name, R);
+  }
+
+  std::printf("\nnote: faults/s > 0 only under MTE with --rogue-permille "
+              "(rogue requests are near-OOB READS —\n"
+              "guarded copy cannot see reads, unprotected executes them "
+              "silently).\n");
+  if (!StreamPath.empty())
+    std::printf("stream: %s (m4jstat watch %s)\n", StreamPath.c_str(),
+                StreamPath.c_str());
+
+  Report.writeIfRequested(Options);
+  return 0;
+}

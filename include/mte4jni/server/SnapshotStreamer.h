@@ -1,0 +1,86 @@
+//===- SnapshotStreamer.h - Periodic JSONL metrics streaming -------*- C++ -*-===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Appends one metrics snapshot per interval to a JSONL file from a
+/// background thread, so a long-running server is inspectable WITHOUT
+/// stopping it: `m4jstat watch stream.jsonl` tails the file and re-renders
+/// deltas live, `m4jstat diff --last stream.jsonl` compares the two newest
+/// records after the fact.
+///
+/// Each line is one self-contained JSON object:
+///
+///   {"seq": 3, "elapsed_ms": 750, "label": "mte4jni_sync",
+///    "metrics": { ...MetricsSnapshot::toJsonLine()... }}
+///
+/// Lines are written with a single fwrite and fflushed, so a concurrent
+/// tail sees only whole records (the final, partial-interval snapshot is
+/// written at stop()).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MTE4JNI_SERVER_SNAPSHOTSTREAMER_H
+#define MTE4JNI_SERVER_SNAPSHOTSTREAMER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace mte4jni::server {
+
+class SnapshotStreamer {
+public:
+  struct Config {
+    std::string Path;
+    uint32_t IntervalMillis = 250;
+    /// Free-form tag copied into every record (e.g. the scheme name).
+    std::string Label;
+    /// Append to an existing stream instead of truncating — multi-phase
+    /// runs (one server phase per scheme) share one file.
+    bool Append = false;
+  };
+
+  /// Opens the file and starts the streaming thread. ok() reports whether
+  /// the open succeeded; a failed streamer is inert (start/stop no-ops).
+  explicit SnapshotStreamer(Config C);
+  ~SnapshotStreamer();
+
+  SnapshotStreamer(const SnapshotStreamer &) = delete;
+  SnapshotStreamer &operator=(const SnapshotStreamer &) = delete;
+
+  bool ok() const { return File != nullptr; }
+
+  /// Stops the thread, writes one final snapshot record, closes the file.
+  /// Idempotent.
+  void stop();
+
+  uint64_t linesWritten() const {
+    return Lines.load(std::memory_order_relaxed);
+  }
+
+private:
+  void loop();
+  void writeRecord();
+
+  Config C;
+  std::FILE *File = nullptr;
+  uint64_t StartNanos = 0;
+  std::atomic<uint64_t> Lines{0};
+  std::atomic<bool> StopRequested{false};
+  std::mutex WakeLock;
+  std::condition_variable WakeCv;
+  std::thread Worker;
+  bool Stopped = false;
+};
+
+} // namespace mte4jni::server
+
+#endif // MTE4JNI_SERVER_SNAPSHOTSTREAMER_H

@@ -310,6 +310,12 @@ struct MetricsSnapshot {
   /// Machine-readable JSON document (counters/gauges/histograms/faults).
   std::string toJson() const;
 
+  /// toJson() flattened onto a single line (no raw newlines) so a snapshot
+  /// can be one record of a JSONL stream. String values are \n-escaped by
+  /// jsonEscape, so every newline in the pretty document is inter-token
+  /// whitespace and can be dropped wholesale.
+  std::string toJsonLine() const;
+
   /// Prometheus-style text exposition (metric names sanitised to
   /// [a-zA-Z0-9_:] and prefixed "m4j_"; histograms emit cumulative
   /// _bucket{le=...} series plus _sum/_count).

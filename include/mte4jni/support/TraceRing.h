@@ -106,6 +106,10 @@ enum class GcFlightPhase : uint8_t {
   Sweep,
   Compact,
   Verify,
+  /// The stop-the-world window itself (beginPause..endPause), a superset
+  /// of Mark/Sweep/Compact/Verify. Exported so pause slices line up with
+  /// the rt/gc/pause_nanos histogram tails.
+  Pause,
   kNumPhases
 };
 

@@ -69,7 +69,13 @@ public:
 /// Fresh instances of the full 16-workload suite, in Figure 7/8 order.
 std::vector<std::unique_ptr<Workload>> makeAllWorkloads();
 
-/// A single workload by name (nullptr when unknown).
+/// Request-mix profiles for the tenant server harness (currently the
+/// string-critical "HTML5 DOM Strings" parse). Outside the Geekbench
+/// suite so Figure 7/8 comparisons are unchanged.
+std::vector<std::unique_ptr<Workload>> makeServerProfileWorkloads();
+
+/// A single workload by name, searching the Geekbench suite and the
+/// server profiles (nullptr when unknown).
 std::unique_ptr<Workload> makeWorkload(const char *Name);
 
 // ---- helpers shared by the workload implementations ------------------------

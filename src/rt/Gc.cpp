@@ -38,6 +38,8 @@ struct GcMetrics {
       support::Metrics::counter("rt/gc/objects_freed");
   support::Histogram &CollectNanos =
       support::Metrics::histogram("rt/gc/collect_nanos");
+  support::Histogram &PauseNanos =
+      support::Metrics::histogram("rt/gc/pause_nanos");
   support::Histogram &MarkNanos =
       support::Metrics::histogram("rt/gc/mark_nanos");
   support::Histogram &SweepNanos =
@@ -265,6 +267,12 @@ GcResult GcController::collect() {
   support::ScopedTrace Trace("GC.collect", "gc");
   GcMetrics &GM = gcMetrics();
   uint64_t CollectStart = support::monotonicNanos();
+  // The stop-the-world window: from the pause *request* (mutators may be
+  // blocked from here on) until endPause releases them. This is the number
+  // a tenant's tail latency actually pays, so it is exported both as the
+  // rt/gc/pause_nanos histogram and as a GC.pause flight slice on this
+  // thread's lane (gc-background for the background collector).
+  uint64_t PauseStart = CollectStart;
   RT.beginPause();
   GM.ParallelWorkers.set(Workers);
 
@@ -335,6 +343,9 @@ GcResult GcController::collect() {
   }
 
   RT.endPause();
+  uint64_t PauseEnd = support::monotonicNanos();
+  GM.PauseNanos.record(PauseEnd - PauseStart);
+  recordGcPhaseFlight(support::GcFlightPhase::Pause, PauseStart, PauseEnd);
   Cycles.fetch_add(1, std::memory_order_relaxed);
   GM.Cycles.add();
   GM.BytesFreed.add(Result.BytesFreed);

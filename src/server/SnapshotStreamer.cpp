@@ -1,0 +1,79 @@
+//===- SnapshotStreamer.cpp - Periodic JSONL metrics streaming ----------------------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/server/SnapshotStreamer.h"
+
+#include "mte4jni/support/Metrics.h"
+#include "mte4jni/support/StringUtils.h"
+#include "mte4jni/support/Timer.h"
+
+#include <chrono>
+
+namespace mte4jni::server {
+
+SnapshotStreamer::SnapshotStreamer(Config Cfg) : C(std::move(Cfg)) {
+  if (C.Path.empty())
+    return;
+  File = std::fopen(C.Path.c_str(), C.Append ? "a" : "w");
+  if (File == nullptr)
+    return;
+  StartNanos = support::monotonicNanos();
+  Worker = std::thread([this] { loop(); });
+}
+
+SnapshotStreamer::~SnapshotStreamer() { stop(); }
+
+void SnapshotStreamer::stop() {
+  if (File == nullptr || Stopped)
+    return;
+  Stopped = true;
+  {
+    std::lock_guard<std::mutex> Guard(WakeLock);
+    StopRequested.store(true);
+  }
+  WakeCv.notify_all();
+  if (Worker.joinable())
+    Worker.join();
+  // Final partial-interval record: the end-of-run state always lands in
+  // the stream even when the run is shorter than one interval.
+  writeRecord();
+  std::fclose(File);
+  File = nullptr;
+}
+
+void SnapshotStreamer::loop() {
+  for (;;) {
+    std::unique_lock<std::mutex> Guard(WakeLock);
+    WakeCv.wait_for(Guard, std::chrono::milliseconds(C.IntervalMillis),
+                    [this] { return StopRequested.load(); });
+    if (StopRequested.load())
+      return; // stop() writes the closing record
+    Guard.unlock();
+    writeRecord();
+  }
+}
+
+void SnapshotStreamer::writeRecord() {
+  uint64_t Seq = Lines.load(std::memory_order_relaxed);
+  uint64_t ElapsedMs =
+      (support::monotonicNanos() - StartNanos) / 1'000'000;
+  std::string Line = support::format(
+      "{\"seq\": %llu, \"elapsed_ms\": %llu, \"label\": \"%s\", "
+      "\"metrics\": ",
+      static_cast<unsigned long long>(Seq),
+      static_cast<unsigned long long>(ElapsedMs),
+      support::jsonEscape(C.Label).c_str());
+  Line += support::Metrics::snapshot().toJsonLine();
+  Line += "}\n";
+  // One fwrite per record + flush: a concurrent tailer never sees a torn
+  // line (stdio buffers the whole record before the flush writes it out).
+  std::fwrite(Line.data(), 1, Line.size(), File);
+  std::fflush(File);
+  Lines.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace mte4jni::server

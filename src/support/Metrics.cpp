@@ -440,6 +440,16 @@ std::string MetricsSnapshot::toJson() const {
   return Out;
 }
 
+std::string MetricsSnapshot::toJsonLine() const {
+  std::string Pretty = toJson();
+  std::string Out;
+  Out.reserve(Pretty.size());
+  for (char C : Pretty)
+    if (C != '\n')
+      Out += C;
+  return Out;
+}
+
 namespace {
 
 /// Prometheus metric names allow [a-zA-Z0-9_:]; ours use '/' paths.

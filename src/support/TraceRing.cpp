@@ -254,6 +254,8 @@ const char *flightEventName(FlightKind Kind, uint8_t Arg) {
       return "GC.compact";
     case GcFlightPhase::Verify:
       return "GC.verify";
+    case GcFlightPhase::Pause:
+      return "GC.pause";
     case GcFlightPhase::kNumPhases:
       break;
     }

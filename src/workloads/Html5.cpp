@@ -29,45 +29,54 @@ struct DomNode {
   uint32_t Width = 0;
 };
 
+/// Deterministic pseudo-HTML document of roughly \p TargetBytes, balanced
+/// tags with class attributes and word runs. Shared by the byte-array
+/// profile (bulk boundary traffic) and the jstring profile (per-char
+/// string-critical traffic) so both parse identical markup per seed.
+std::string buildHtmlDocument(uint64_t Seed, size_t TargetBytes) {
+  support::Xoshiro256 Rng(Seed ^ 0x4735);
+  static const char *Tags[] = {"div", "span", "p", "a", "li", "ul",
+                               "h1",  "td",   "tr"};
+  std::string Doc = "<html><body>";
+  unsigned Depth = 2;
+  std::vector<const char *> Stack = {"html", "body"};
+  while (Doc.size() < TargetBytes - 64) {
+    if (Depth < 12 && Rng.nextBool(0.55)) {
+      const char *T = Tags[Rng.nextBelow(std::size(Tags))];
+      Doc += "<";
+      Doc += T;
+      if (Rng.nextBool(0.3))
+        Doc += " class=\"c" + std::to_string(Rng.nextBelow(30)) + "\"";
+      Doc += ">";
+      Stack.push_back(T);
+      ++Depth;
+    } else if (Depth > 2 && Rng.nextBool(0.5)) {
+      Doc += "</";
+      Doc += Stack.back();
+      Doc += ">";
+      Stack.pop_back();
+      --Depth;
+    } else {
+      for (unsigned I = 0, N = unsigned(4 + Rng.nextBelow(40)); I < N; ++I)
+        Doc += static_cast<char>('a' + Rng.nextBelow(26));
+      Doc += ' ';
+    }
+  }
+  while (!Stack.empty()) {
+    Doc += "</";
+    Doc += Stack.back();
+    Doc += ">";
+    Stack.pop_back();
+  }
+  return Doc;
+}
+
 class Html5Workload final : public Workload {
 public:
   const char *name() const override { return "HTML5 Browser"; }
 
   void prepare(WorkloadContext &Ctx) override {
-    support::Xoshiro256 Rng(Ctx.Seed ^ 0x4735);
-    static const char *Tags[] = {"div", "span", "p", "a", "li", "ul",
-                                 "h1",  "td",   "tr"};
-    std::string Doc = "<html><body>";
-    unsigned Depth = 2;
-    std::vector<const char *> Stack = {"html", "body"};
-    while (Doc.size() < kDocBytes - 64) {
-      if (Depth < 12 && Rng.nextBool(0.55)) {
-        const char *T = Tags[Rng.nextBelow(std::size(Tags))];
-        Doc += "<";
-        Doc += T;
-        if (Rng.nextBool(0.3))
-          Doc += " class=\"c" + std::to_string(Rng.nextBelow(30)) + "\"";
-        Doc += ">";
-        Stack.push_back(T);
-        ++Depth;
-      } else if (Depth > 2 && Rng.nextBool(0.5)) {
-        Doc += "</";
-        Doc += Stack.back();
-        Doc += ">";
-        Stack.pop_back();
-        --Depth;
-      } else {
-        for (unsigned I = 0, N = unsigned(4 + Rng.nextBelow(40)); I < N; ++I)
-          Doc += static_cast<char>('a' + Rng.nextBelow(26));
-        Doc += ' ';
-      }
-    }
-    while (!Stack.empty()) {
-      Doc += "</";
-      Doc += Stack.back();
-      Doc += ">";
-      Stack.pop_back();
-    }
+    std::string Doc = buildHtmlDocument(Ctx.Seed, kDocBytes);
 
     Document = Ctx.Env.NewByteArray(Ctx.Scope,
                                     static_cast<jni::jsize>(Doc.size()));
@@ -141,10 +150,104 @@ private:
   jni::jarray Document = nullptr;
 };
 
+/// The server harness's string tenant: the same markup kept as a Java
+/// *string*, parsed through GetStringCritical one jchar at a time. Unlike
+/// Html5Workload (one bulk transfer, native-scratch parse), every character
+/// read here goes through the tagged JNI pointer — the per-access checked
+/// style the paper calls JNI-intensive — so string-critical acquire/release
+/// plus per-char checking dominate. Not part of the 16-item Geekbench
+/// suite; reachable via makeWorkload("HTML5 DOM Strings") and the workload
+/// registry's server request mix.
+class Html5StringsWorkload final : public Workload {
+public:
+  const char *name() const override { return "HTML5 DOM Strings"; }
+  bool isJniIntensive() const override { return true; }
+
+  void prepare(WorkloadContext &Ctx) override {
+    std::string Doc = buildHtmlDocument(Ctx.Seed, kDocBytes);
+    Document = Ctx.Env.NewStringUTF(Ctx.Scope, Doc.c_str());
+  }
+
+  uint64_t run(WorkloadContext &Ctx) override {
+    return rt::callNative(
+        Ctx.Thread, rt::NativeKind::Regular, "html5_dom_strings", [&] {
+          jni::jboolean IsCopy;
+          jni::jsize Len = Ctx.Env.GetStringLength(Document);
+          auto Chars = Ctx.Env.GetStringCritical(Document, &IsCopy);
+
+          auto At = [&](jni::jsize I) {
+            return static_cast<char>(
+                mte::load<const jni::jchar>(Chars + I));
+          };
+          // Tokenise + tree + layout as in Html5Workload, but every read
+          // crosses the checked pointer.
+          std::vector<DomNode> Nodes;
+          Nodes.push_back({});
+          int32_t Cur = 0;
+          jni::jsize I = 0;
+          while (I < Len) {
+            if (At(I) != '<') {
+              ++Nodes[static_cast<size_t>(Cur)].TextBytes;
+              ++I;
+              continue;
+            }
+            bool Close = I + 1 < Len && At(I + 1) == '/';
+            jni::jsize NameStart = I + (Close ? 2 : 1);
+            jni::jsize J = NameStart;
+            uint32_t H = 2166136261u;
+            while (J < Len) {
+              char C = At(J);
+              if (C == '>' || C == ' ')
+                break;
+              H = (H ^ static_cast<uint8_t>(C)) * 16777619u;
+              ++J;
+            }
+            jni::jsize End = J;
+            while (End < Len && At(End) != '>')
+              ++End;
+            if (Close) {
+              if (Nodes[static_cast<size_t>(Cur)].Parent >= 0)
+                Cur = Nodes[static_cast<size_t>(Cur)].Parent;
+            } else {
+              DomNode N;
+              N.TagHash = H;
+              N.Parent = Cur;
+              Nodes.push_back(N);
+              Cur = static_cast<int32_t>(Nodes.size() - 1);
+            }
+            I = End + 1;
+          }
+          Ctx.Env.ReleaseStringCritical(Document, Chars);
+
+          for (size_t K = Nodes.size(); K-- > 0;) {
+            Nodes[K].Width += Nodes[K].TextBytes * 7;
+            if (Nodes[K].Parent >= 0)
+              Nodes[static_cast<size_t>(Nodes[K].Parent)].Width +=
+                  Nodes[K].Width / 2;
+          }
+          uint64_t Sum = Nodes.size();
+          for (const DomNode &N : Nodes)
+            Sum = mixChecksum(Sum, (uint64_t(N.TagHash) << 16) ^ N.Width);
+          return Sum;
+        });
+  }
+
+private:
+  /// Smaller than the byte-array profile: one request should cost tens of
+  /// microseconds, not a full page render, so a paced server can push
+  /// thousands per second per worker.
+  static constexpr size_t kDocBytes = 16 << 10;
+  jni::jstring Document = nullptr;
+};
+
 } // namespace
 
 std::unique_ptr<Workload> makeHtml5Browser() {
   return std::make_unique<Html5Workload>();
+}
+
+std::unique_ptr<Workload> makeHtml5DomStrings() {
+  return std::make_unique<Html5StringsWorkload>();
 }
 
 } // namespace mte4jni::workloads

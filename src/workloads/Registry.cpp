@@ -34,8 +34,20 @@ std::vector<std::unique_ptr<Workload>> makeAllWorkloads() {
   return All;
 }
 
+std::vector<std::unique_ptr<Workload>> makeServerProfileWorkloads() {
+  // Request-mix profiles for the tenant server harness. These live outside
+  // the 16-item Geekbench suite (Figure 7/8 stay byte-for-byte comparable)
+  // but are first-class registry citizens: makeWorkload() finds them.
+  std::vector<std::unique_ptr<Workload>> Extra;
+  Extra.push_back(makeHtml5DomStrings());
+  return Extra;
+}
+
 std::unique_ptr<Workload> makeWorkload(const char *Name) {
   for (auto &W : makeAllWorkloads())
+    if (std::strcmp(W->name(), Name) == 0)
+      return std::move(W);
+  for (auto &W : makeServerProfileWorkloads())
     if (std::strcmp(W->name(), Name) == 0)
       return std::move(W);
   return nullptr;

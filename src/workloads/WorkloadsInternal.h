@@ -15,6 +15,7 @@ namespace mte4jni::workloads {
 std::unique_ptr<Workload> makeFileCompression();
 std::unique_ptr<Workload> makeNavigation();
 std::unique_ptr<Workload> makeHtml5Browser();
+std::unique_ptr<Workload> makeHtml5DomStrings();
 std::unique_ptr<Workload> makePdfRenderer();
 std::unique_ptr<Workload> makePhotoLibrary();
 std::unique_ptr<Workload> makeClang();

@@ -15,18 +15,28 @@
 //   m4jstat --prefix=core/ METRICS.json   # filter by name prefix
 //   m4jstat A.json B.json                 # diff: B - A per counter/histogram
 //
+// It also understands the JSONL streams a running server appends (one
+// {"seq","elapsed_ms","label","metrics"} record per line, see
+// server::SnapshotStreamer):
+//
+//   m4jstat watch STREAM.jsonl            # tail the stream, render deltas
+//   m4jstat watch --once STREAM.jsonl     # render what is there, then exit
+//   m4jstat diff --last STREAM.jsonl      # diff the two newest records
+//
 // Self-contained: a minimal recursive-descent JSON reader, no third-party
 // dependencies, so it builds anywhere the simulator does.
 //
 //===----------------------------------------------------------------------===//
 
 #include <cctype>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -258,23 +268,20 @@ struct Document {
   const JsonValue *Results = nullptr; ///< bench rows, when a bench report
 };
 
-bool loadDocument(const char *Path, Document &Doc) {
-  bool Ok = false;
-  std::string Text = readFile(Path, Ok);
-  if (!Ok) {
-    std::fprintf(stderr, "m4jstat: cannot read %s\n", Path);
-    return false;
-  }
+/// Parses one JSON document (raw snapshot, bench report, or one stream
+/// record) into \p Doc. \p Origin labels error messages.
+bool parseDocument(const std::string &Text, const char *Origin,
+                   Document &Doc) {
   JsonParser Parser(Text);
   Doc.Root = Parser.parse();
   if (!Doc.Root || Doc.Root->K != JsonValue::Kind::Object) {
-    std::fprintf(stderr, "m4jstat: %s: %s\n", Path,
+    std::fprintf(stderr, "m4jstat: %s: %s\n", Origin,
                  Doc.Root ? "top level is not an object"
                           : Parser.error().c_str());
     return false;
   }
-  // A bench report nests the snapshot under "metrics"; a raw snapshot IS
-  // the object with "counters"/"gauges"/"histograms".
+  // A bench report or stream record nests the snapshot under "metrics"; a
+  // raw snapshot IS the object with "counters"/"gauges"/"histograms".
   const JsonValue *M = Doc.Root->get("metrics");
   Doc.Metrics = M && M->K == JsonValue::Kind::Object ? M : Doc.Root.get();
   Doc.Results = Doc.Root->get("results");
@@ -282,10 +289,20 @@ bool loadDocument(const char *Path, Document &Doc) {
     std::fprintf(stderr,
                  "m4jstat: %s has no \"counters\" section (not a metrics "
                  "snapshot or bench report)\n",
-                 Path);
+                 Origin);
     return false;
   }
   return true;
+}
+
+bool loadDocument(const char *Path, Document &Doc) {
+  bool Ok = false;
+  std::string Text = readFile(Path, Ok);
+  if (!Ok) {
+    std::fprintf(stderr, "m4jstat: cannot read %s\n", Path);
+    return false;
+  }
+  return parseDocument(Text, Path, Doc);
 }
 
 // ==== printing =============================================================
@@ -415,27 +432,192 @@ void printDiff(const Document &A, const Document &B, const Options &Opt) {
   }
 }
 
+// ==== JSONL streams (watch / diff --last) ==================================
+
+/// One parsed SnapshotStreamer record: the wrapper fields plus a Document
+/// view onto the embedded snapshot.
+struct StreamRecord {
+  Document Doc;
+  double Seq = 0;
+  double ElapsedMs = 0;
+  std::string Label;
+};
+
+bool parseStreamLine(const std::string &Line, StreamRecord &Rec) {
+  if (!parseDocument(Line, "stream record", Rec.Doc))
+    return false;
+  Rec.Seq = Rec.Doc.Root->num("seq");
+  Rec.ElapsedMs = Rec.Doc.Root->num("elapsed_ms");
+  const JsonValue *L = Rec.Doc.Root->get("label");
+  Rec.Label = L && L->K == JsonValue::Kind::String ? L->Str : "";
+  return true;
+}
+
+void printStreamHeader(const StreamRecord &Rec, const char *What) {
+  std::printf("== seq %.0f  %+.0f ms%s%s  %s ==\n", Rec.Seq, Rec.ElapsedMs,
+              Rec.Label.empty() ? "" : "  label=",
+              Rec.Label.c_str(), What);
+}
+
+/// Renders one new record against the previous one. A label change marks a
+/// new phase (the producer typically reset the registry between phases),
+/// so the record becomes the new baseline instead of producing a diff full
+/// of negative deltas.
+void renderStreamRecord(std::unique_ptr<StreamRecord> &Prev,
+                        std::unique_ptr<StreamRecord> Cur,
+                        const Options &Opt) {
+  if (Prev == nullptr || Prev->Label != Cur->Label) {
+    printStreamHeader(*Cur, Prev == nullptr ? "(baseline)" : "(new phase)");
+  } else {
+    printStreamHeader(*Cur, "(delta vs previous)");
+    printDiff(Prev->Doc, Cur->Doc, Opt);
+  }
+  std::fflush(stdout);
+  Prev = std::move(Cur);
+}
+
+/// Splits newly appended bytes of a JSONL file into complete lines,
+/// carrying any trailing partial line to the next poll.
+struct LineTail {
+  std::string Partial;
+
+  template <typename Fn> void feed(const char *Data, size_t N, Fn OnLine) {
+    Partial.append(Data, N);
+    size_t Start = 0;
+    for (;;) {
+      size_t Nl = Partial.find('\n', Start);
+      if (Nl == std::string::npos)
+        break;
+      if (Nl > Start)
+        OnLine(Partial.substr(Start, Nl - Start));
+      Start = Nl + 1;
+    }
+    Partial.erase(0, Start);
+  }
+};
+
+/// `m4jstat watch [--once] [--interval-ms=N] STREAM.jsonl`: follow the
+/// stream and re-render deltas as records arrive. --once renders the
+/// records already present and exits (CI-friendly).
+int watchMain(const char *Path, bool Once, unsigned IntervalMs,
+              const Options &Opt) {
+  std::FILE *F = std::fopen(Path, "rb");
+  if (F == nullptr) {
+    std::fprintf(stderr, "m4jstat: cannot read %s\n", Path);
+    return 1;
+  }
+  std::unique_ptr<StreamRecord> Prev;
+  LineTail Tail;
+  uint64_t Records = 0, Malformed = 0;
+  char Buf[1 << 16];
+  for (;;) {
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0) {
+      Tail.feed(Buf, N, [&](std::string Line) {
+        auto Rec = std::make_unique<StreamRecord>();
+        if (!parseStreamLine(Line, *Rec)) {
+          ++Malformed;
+          return;
+        }
+        ++Records;
+        renderStreamRecord(Prev, std::move(Rec), Opt);
+      });
+    }
+    if (Once)
+      break;
+    // At EOF: the producer may still be appending. clearerr so the next
+    // fread retries instead of latching EOF.
+    std::clearerr(F);
+    std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
+  }
+  std::fclose(F);
+  if (Once)
+    std::printf("-- %llu records (%llu malformed) --\n",
+                static_cast<unsigned long long>(Records),
+                static_cast<unsigned long long>(Malformed));
+  return Records > 0 ? 0 : 1;
+}
+
+/// `m4jstat diff --last STREAM.jsonl`: diff the two newest records.
+int diffLastMain(const char *Path, const Options &Opt) {
+  bool Ok = false;
+  std::string Text = readFile(Path, Ok);
+  if (!Ok) {
+    std::fprintf(stderr, "m4jstat: cannot read %s\n", Path);
+    return 1;
+  }
+  std::unique_ptr<StreamRecord> A, B;
+  LineTail Tail;
+  Tail.feed(Text.data(), Text.size(), [&](std::string Line) {
+    auto Rec = std::make_unique<StreamRecord>();
+    if (parseStreamLine(Line, *Rec)) {
+      A = std::move(B);
+      B = std::move(Rec);
+    }
+  });
+  if (B == nullptr) {
+    std::fprintf(stderr, "m4jstat: %s has no stream records\n", Path);
+    return 1;
+  }
+  if (A == nullptr) {
+    std::fprintf(stderr,
+                 "m4jstat: %s has only one record; printing it\n", Path);
+    printStreamHeader(*B, "(only record)");
+    printOne(B->Doc, Opt);
+    return 0;
+  }
+  printStreamHeader(*A, "(A)");
+  printStreamHeader(*B, "(B)");
+  printDiff(A->Doc, B->Doc, Opt);
+  return 0;
+}
+
 void usage(const char *Argv0) {
   std::printf(
       "usage: %s [--all] [--prefix=NAME/] SNAPSHOT.json [SNAPSHOT_B.json]\n"
+      "       %s watch [--once] [--interval-ms=N] STREAM.jsonl\n"
+      "       %s diff [--last] STREAM.jsonl | diff A.json B.json\n"
       "  One file:  pretty-print a Session metrics snapshot or a bench\n"
       "             --json report (reads its embedded \"metrics\").\n"
       "  Two files: print per-counter and per-histogram deltas (B - A).\n"
+      "  watch:     follow a server JSONL metrics stream (one snapshot per\n"
+      "             line) and re-render deltas live; --once renders what is\n"
+      "             present and exits; --interval-ms=N poll cadence (500).\n"
+      "  diff --last: diff the two newest records of a JSONL stream.\n"
       "  --all          include zero-valued counters/gauges/histograms\n"
       "  --prefix=P     only metrics whose name starts with P\n",
-      Argv0);
+      Argv0, Argv0, Argv0);
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
   Options Opt;
-  for (int I = 1; I < argc; ++I) {
+  bool Watch = false, Diff = false, Last = false, Once = false;
+  unsigned IntervalMs = 500;
+  int First = 1;
+  if (argc > 1 && std::strcmp(argv[1], "watch") == 0) {
+    Watch = true;
+    First = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "diff") == 0) {
+    Diff = true;
+    First = 2;
+  }
+  for (int I = First; I < argc; ++I) {
     std::string_view Arg = argv[I];
     if (Arg == "--all") {
       Opt.All = true;
     } else if (Arg.rfind("--prefix=", 0) == 0) {
       Opt.Prefix = Arg.substr(9);
+    } else if (Arg == "--last" && Diff) {
+      Last = true;
+    } else if (Arg == "--once" && Watch) {
+      Once = true;
+    } else if (Arg.rfind("--interval-ms=", 0) == 0 && Watch) {
+      IntervalMs = static_cast<unsigned>(
+          std::strtoul(argv[I] + std::strlen("--interval-ms="), nullptr, 10));
+      if (IntervalMs == 0)
+        IntervalMs = 500;
     } else if (Arg == "--help" || Arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -446,7 +628,24 @@ int main(int argc, char **argv) {
       Opt.Paths.push_back(argv[I]);
     }
   }
-  if (Opt.Paths.empty() || Opt.Paths.size() > 2) {
+
+  if (Watch) {
+    if (Opt.Paths.size() != 1) {
+      usage(argv[0]);
+      return 2;
+    }
+    return watchMain(Opt.Paths[0], Once, IntervalMs, Opt);
+  }
+  if (Diff && Last) {
+    if (Opt.Paths.size() != 1) {
+      usage(argv[0]);
+      return 2;
+    }
+    return diffLastMain(Opt.Paths[0], Opt);
+  }
+  // `diff A.json B.json` is the same as the two-file default mode.
+  if (Opt.Paths.empty() || Opt.Paths.size() > 2 ||
+      (Diff && Opt.Paths.size() != 2)) {
     usage(argv[0]);
     return 2;
   }
