@@ -23,7 +23,9 @@
 #include "mte4jni/api/Session.h"
 #include "mte4jni/mte/Access.h"
 
+#include <atomic>
 #include <cstdio>
+#include <thread>
 
 using namespace mte4jni;
 
@@ -47,12 +49,22 @@ uint64_t runScenario(bool GcSuppressesChecks) {
 
     // Run a GC with heap verification on a support thread. The support
     // thread's TCO setting is the whole story.
+    std::atomic<bool> GcDone{false};
     std::thread GcThread([&] {
       S.runtime().attachCurrentThread("HeapTaskDaemon",
                                       rt::ThreadKind::GcSupport);
       S.runtime().gc().collect(); // includes the body-verification pass
+      GcDone.store(true);
       S.runtime().detachCurrentThread();
     });
+    // This body holds the callNative safepoint bracket, so the collector's
+    // stop-the-world pause can only run while we are parked at a
+    // checkpoint. The array stays pinned and tagged throughout — exactly
+    // the §3.3 scenario.
+    while (!GcDone.load()) {
+      S.runtime().safepointPoll();
+      std::this_thread::yield();
+    }
     GcThread.join();
 
     Main.env().ReleaseIntArrayElements(Array, P, 0);

@@ -252,7 +252,10 @@ void JniEnv::getArrayRegion(jarray Array, jsize Start, jsize Len, T *Buf,
     return;
   }
   // Runtime-side copy: bounds already validated, performed with the
-  // runtime's own (untagged, unchecked) view of the heap.
+  // runtime's own (untagged, unchecked) view of the heap. The bracket
+  // keeps the copy mutually exclusive with the GC pause (compaction may
+  // move the array; the verify pass reads it).
+  rt::ScopedCritical Bracket(RT);
   const T *Data = rt::arrayData<T>(Array);
   for (jsize I = 0; I < Len; ++I)
     Buf[I] = Data[Start + I];
@@ -270,6 +273,9 @@ void JniEnv::setArrayRegion(jarray Array, jsize Start, jsize Len,
     raiseError(Interface, "ArrayIndexOutOfBoundsException");
     return;
   }
+  // Payload WRITES are exactly what the stop-the-world verify pass races
+  // with when the world does not stop: bracket them.
+  rt::ScopedCritical Bracket(RT);
   T *Data = rt::arrayData<T>(Array);
   for (jsize I = 0; I < Len; ++I)
     Data[Start + I] = Buf[I];

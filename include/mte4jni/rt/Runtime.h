@@ -95,19 +95,39 @@ public:
   void updateRootsAfterMove(
       const std::vector<std::pair<ObjectHeader *, ObjectHeader *>> &Moved);
 
-  // -- JNI critical sections ----------------------------------------------
-  /// Enters a JNI critical section (GetPrimitiveArrayCritical /
-  /// GetStringCritical). Blocks while a GC pause is active, unless the
-  /// calling thread is already inside a critical section.
+  // -- runtime critical sections (safepoint exclusion) ---------------------
+  /// Enters a runtime critical section. Critical sections are the mutator
+  /// side of the safepoint handshake: while a thread holds one, a GC
+  /// stop-the-world pause cannot begin, and entering one blocks while a
+  /// pause is active. Used by the JNI critical interfaces
+  /// (GetPrimitiveArrayCritical / GetStringCritical), by every JNI
+  /// operation that touches an object payload (pin/unpin, region copies),
+  /// and by rt::callNative, which brackets the whole native method body —
+  /// making native-call entry the natural safepoint. Nested enters from an
+  /// attached thread are pure thread-local bookkeeping (no atomics).
   void enterCritical();
   void exitCritical();
-  uint32_t criticalDepth() const {
-    return CriticalCount.load(std::memory_order_acquire);
-  }
+
+  /// The calling thread's critical nesting depth when it is attached;
+  /// otherwise the number of threads currently inside a critical section.
+  uint32_t criticalDepth() const;
+
+  /// Safepoint checkpoint for long-running native sections (per-char
+  /// string-critical scans and similar). One seq_cst load when no pause is
+  /// pending; when one is, the calling thread parks its critical claim
+  /// (its pinned buffers stay valid: pins block sweep and compaction),
+  /// lets the pause run, and re-claims before returning. Callers must not
+  /// be mid-write to an object payload across a poll.
+  void safepointPoll();
 
   // -- world pause (GC) ------------------------------------------------------
-  /// Acquires the world pause: blocks new critical sections, waits for
-  /// outstanding ones to drain. Paired with endPause().
+  /// Acquires the world pause: blocks new critical sections and waits for
+  /// outstanding ones to drain (rendezvous, no polling). If the calling
+  /// thread itself holds a critical section (a mutator collecting after a
+  /// failed allocation), its claim is parked for the duration of the pause
+  /// — it is at a safepoint — and restored by endPause(). Records the
+  /// rt/gc/ttsp_nanos (time-to-safepoint) histogram and a GC.ttsp flight
+  /// slice for the request->drained window. Paired with endPause().
   void beginPause();
   void endPause();
 
@@ -125,10 +145,43 @@ private:
   // Critical-section / pause coordination. The critical fast path (no GC
   // pause pending) is lock-free: benchmark comparisons of the policies'
   // own locking (Figure 6) must not be drowned by a shared runtime mutex.
+  //
+  // Protocol invariants (see DESIGN.md §11 for the state diagram):
+  //   * CriticalCount counts THREADS currently inside >= 1 critical
+  //     section (per-thread nesting lives in JavaThread::CriticalDepth),
+  //     so nested enter/exit never touches the shared cache line.
+  //   * All CriticalCount RMWs and PauseActive loads/stores on the
+  //     handshake paths are seq_cst: either the entering mutator observes
+  //     PauseActive or the collector observes the incremented count — the
+  //     store-buffering outcome where both miss is excluded.
+  //   * Every decrement that can unblock a waiting collector notifies
+  //     DrainCv while holding PauseLock, so the collector (whose predicate
+  //     check runs under the same lock) cannot lose the wakeup. DrainCv
+  //     has at most ONE waiter (the pause owner) and is notify_one;
+  //     mutators blocked on the pause wait on ResumeCv and are woken once
+  //     per pause by endPause — keeping the two populations on one cv made
+  //     every mid-drain exitCritical spuriously wake every blocked mutator
+  //     (an O(threads^2) scheduler storm per pause on small machines).
   std::mutex PauseLock;
-  std::condition_variable PauseCv;
+  std::condition_variable DrainCv;  ///< pause owner waits for count==0
+  std::condition_variable ResumeCv; ///< mutators/queued collectors wait !PauseActive
   std::atomic<bool> PauseActive{false};
   std::atomic<uint32_t> CriticalCount{0};
+};
+
+/// RAII runtime critical section: the bracket JNI payload operations and
+/// rt::callNative place around payload-touching work so it is mutually
+/// exclusive with the GC stop-the-world window.
+class ScopedCritical {
+public:
+  explicit ScopedCritical(Runtime &RT) : RT(RT) { RT.enterCritical(); }
+  ~ScopedCritical() { RT.exitCritical(); }
+
+  ScopedCritical(const ScopedCritical &) = delete;
+  ScopedCritical &operator=(const ScopedCritical &) = delete;
+
+private:
+  Runtime &RT;
 };
 
 } // namespace mte4jni::rt

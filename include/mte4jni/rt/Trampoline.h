@@ -85,6 +85,12 @@ auto callNative(JavaThread &Thread, NativeKind Kind, const char *MethodName,
   const bool WantTagChecks = Thread.runtime().config().TagChecksInNative;
   support::FlightScope Crossing(support::FlightKind::JniCrossing,
                                 static_cast<uint8_t>(Kind));
+  // Native-call entry is the runtime's safepoint: the body runs inside a
+  // runtime critical section, so a GC stop-the-world pause either ends
+  // before the native method starts touching payloads or waits until the
+  // call returns (or reaches a Runtime::safepointPoll checkpoint). JNI
+  // criticals/pins taken inside the body nest for free (thread-local).
+  ScopedCritical Safepoint(Thread.runtime());
   switch (Kind) {
   case NativeKind::Regular: {
     support::ScopedFrame Tramp("art_quick_generic_jni_trampoline",

@@ -110,6 +110,10 @@ enum class GcFlightPhase : uint8_t {
   /// of Mark/Sweep/Compact/Verify. Exported so pause slices line up with
   /// the rt/gc/pause_nanos histogram tails.
   Pause,
+  /// Time-to-safepoint: from the pause request until the last critical
+  /// section drained (the front of the Pause slice). Lines up with the
+  /// rt/gc/ttsp_nanos histogram.
+  Ttsp,
   kNumPhases
 };
 

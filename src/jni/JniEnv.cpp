@@ -106,6 +106,10 @@ uint64_t JniEnv::acquireObject(rt::ObjectHeader *Obj, const char *Interface,
   static support::Histogram &AcquireNanos =
       support::Metrics::histogram("jni/acquire_nanos");
   support::SampledLatency Lat(AcquireNanos, support::FlightKind::JniAcquire);
+  // Pin + tag/copy work must not interleave with a GC pause (the verify
+  // pass reads payloads; compaction moves unpinned objects). Nested inside
+  // callNative's bracket this is thread-local; standalone it claims one.
+  rt::ScopedCritical Bracket(RT);
   // JNI Get* interfaces pin the object: the GC must not reclaim or move
   // memory native code holds a raw pointer into.
   Obj->pin();
@@ -134,6 +138,9 @@ void JniEnv::releaseObject(rt::ObjectHeader *Obj, const char *Interface,
   static support::Histogram &ReleaseNanos =
       support::Metrics::histogram("jni/release_nanos");
   support::SampledLatency Lat(ReleaseNanos, support::FlightKind::JniRelease);
+  // Copy-back (guarded copy) and unpin must be atomic w.r.t. the pause for
+  // the same reason acquire is.
+  rt::ScopedCritical Bracket(RT);
   jniMetrics().ReleaseCalls.add();
   JniBufferInfo Info;
   Info.Obj = Obj;
@@ -242,6 +249,9 @@ mte::TaggedPtr<const char> JniEnv::GetStringUTFChars(jstring Str,
   if (!checkString(Str, "GetStringUTFChars"))
     return mte::TaggedPtr<const char>();
 
+  // The UTF-8 conversion reads the string payload: bracket it against the
+  // GC pause like every other payload access.
+  rt::ScopedCritical Bracket(RT);
   // GetStringUTFChars always converts into a fresh native buffer.
   std::u16string_view Units(
       reinterpret_cast<const char16_t *>(rt::stringChars(Str)), Str->Length);
@@ -302,6 +312,9 @@ jobject JniEnv::GetObjectArrayElement(jarray Array, jsize Index) {
     raiseError("GetObjectArrayElement", "ArrayIndexOutOfBoundsException");
     return nullptr;
   }
+  // Ref-array slots are payload the mark phase traces and compaction
+  // rewrites: slot access must not interleave with a pause.
+  rt::ScopedCritical Bracket(RT);
   return rt::refArraySlots(Array)[Index];
 }
 
@@ -316,6 +329,7 @@ void JniEnv::SetObjectArrayElement(jarray Array, jsize Index,
     raiseError("SetObjectArrayElement", "ArrayIndexOutOfBoundsException");
     return;
   }
+  rt::ScopedCritical Bracket(RT);
   rt::refArraySlots(Array)[Index] = Value;
 }
 

@@ -10,11 +10,12 @@
 #include "mte4jni/mte/MteSystem.h"
 #include "mte4jni/mte/ThreadState.h"
 #include "mte4jni/rt/JavaString.h"
+#include "mte4jni/support/Metrics.h"
 #include "mte4jni/support/Syscall.h"
+#include "mte4jni/support/Timer.h"
 #include "mte4jni/support/TraceRing.h"
 
 #include <algorithm>
-#include <chrono>
 #include <unordered_map>
 
 namespace mte4jni::rt {
@@ -96,10 +97,14 @@ ObjectHeader *Runtime::newPrimArray(HandleScope &Scope, PrimType Elem,
       return Scope.root(Obj);
   }
   // Like ART: collect and retry once before surfacing OutOfMemoryError.
-  // The critical section must be dropped first — beginPause waits for it.
+  // beginPause parks any critical section the caller already holds (the
+  // callNative bracket), so collecting from here cannot self-deadlock.
   Gc->collect();
   ScopedAllocCritical Guard(*this);
-  return Scope.root(Heap->allocPrimArray(Elem, Length));
+  ObjectHeader *Obj = Heap->allocPrimArray(Elem, Length);
+  if (!Obj)
+    return nullptr; // OutOfMemoryError: never root a null allocation
+  return Scope.root(Obj);
 }
 
 ObjectHeader *Runtime::newRefArray(HandleScope &Scope, uint32_t Length) {
@@ -110,7 +115,10 @@ ObjectHeader *Runtime::newRefArray(HandleScope &Scope, uint32_t Length) {
   }
   Gc->collect();
   ScopedAllocCritical Guard(*this);
-  return Scope.root(Heap->allocRefArray(Length));
+  ObjectHeader *Obj = Heap->allocRefArray(Length);
+  if (!Obj)
+    return nullptr; // OutOfMemoryError: never root a null allocation
+  return Scope.root(Obj);
 }
 
 ObjectHeader *Runtime::newString(HandleScope &Scope,
@@ -162,75 +170,159 @@ void Runtime::updateRootsAfterMove(
     }
 }
 
+uint32_t Runtime::criticalDepth() const {
+  // Attached threads report their own nesting depth (what the JNI
+  // CheckJNI-style assertions care about); unattached callers see the
+  // number of threads currently inside a critical section.
+  if (const JavaThread *Thread = JavaThread::currentOrNull())
+    return Thread->CriticalDepth;
+  return CriticalCount.load(std::memory_order_seq_cst);
+}
+
 void Runtime::enterCritical() {
   JavaThread *Thread = JavaThread::currentOrNull();
-  // Re-entrant enter while this thread already holds a critical section
-  // must not block (the GC cannot have started in between).
+  // Nested enter: this thread already holds its world-visible claim and a
+  // pause cannot begin while it does, so the bookkeeping is thread-local.
   if (Thread && Thread->CriticalDepth > 0) {
     ++Thread->CriticalDepth;
-    CriticalCount.fetch_add(1, std::memory_order_acq_rel);
     return;
   }
   for (;;) {
-    // Fast path: no pause pending — one RMW, no mutex.
-    if (M4J_LIKELY(!PauseActive.load(std::memory_order_acquire))) {
-      CriticalCount.fetch_add(1, std::memory_order_acq_rel);
-      // Re-check: a pause may have begun between the load and the
-      // increment; back out so the collector is not stalled forever.
-      if (M4J_LIKELY(!PauseActive.load(std::memory_order_acquire)))
+    // Fast path: no pause pending — one RMW, no mutex. seq_cst pairs with
+    // beginPause's PauseActive store + CriticalCount load: in the seq_cst
+    // total order either our increment precedes the collector's drain
+    // check (it waits for us) or the collector's store precedes our
+    // re-check (we back out) — both sides missing is impossible.
+    if (M4J_LIKELY(!PauseActive.load(std::memory_order_seq_cst))) {
+      CriticalCount.fetch_add(1, std::memory_order_seq_cst);
+      if (M4J_LIKELY(!PauseActive.load(std::memory_order_seq_cst)))
         break;
-      uint32_t Prev = CriticalCount.fetch_sub(1, std::memory_order_acq_rel);
-      if (Prev == 1) {
-        std::lock_guard<std::mutex> Guard(PauseLock);
-        PauseCv.notify_all();
+      // A pause began between the load and the increment: back out, and
+      // wake the collector unconditionally — it may be waiting on exactly
+      // this decrement. The notify runs under PauseLock, so a collector
+      // that saw a non-zero count under the same lock cannot miss it.
+      CriticalCount.fetch_sub(1, std::memory_order_seq_cst);
+      {
+        std::lock_guard<std::mutex> Wake(PauseLock);
+        DrainCv.notify_one();
       }
     }
     // Slow path: wait for the pause to finish.
     std::unique_lock<std::mutex> Guard(PauseLock);
-    PauseCv.wait(Guard, [this] {
-      return !PauseActive.load(std::memory_order_acquire);
+    ResumeCv.wait(Guard, [this] {
+      return !PauseActive.load(std::memory_order_seq_cst);
     });
   }
   if (Thread)
-    ++Thread->CriticalDepth;
+    Thread->CriticalDepth = 1;
 }
 
 void Runtime::exitCritical() {
   JavaThread *Thread = JavaThread::currentOrNull();
   if (Thread) {
     M4J_ASSERT(Thread->CriticalDepth > 0, "exitCritical underflow");
-    --Thread->CriticalDepth;
+    if (--Thread->CriticalDepth > 0)
+      return; // still nested: the world-visible claim stays
   }
-  uint32_t Prev = CriticalCount.fetch_sub(1, std::memory_order_acq_rel);
+  uint32_t Prev = CriticalCount.fetch_sub(1, std::memory_order_seq_cst);
   M4J_ASSERT(Prev > 0, "critical count underflow");
-  if (M4J_UNLIKELY(Prev == 1 &&
-                   PauseActive.load(std::memory_order_acquire))) {
-    std::lock_guard<std::mutex> Guard(PauseLock);
-    PauseCv.notify_all();
+  (void)Prev;
+  // Publish-then-wake: the decrement is already visible (seq_cst) and the
+  // notify happens under PauseLock, so the collector either sees count==0
+  // at its locked predicate check or receives this notify — the rendezvous
+  // cannot lose the wakeup (this replaced beginPause's wait_for polling).
+  // DrainCv's only possible waiter is the pause owner: notify_one, and no
+  // blocked mutator is disturbed by a mid-drain exit.
+  if (M4J_UNLIKELY(PauseActive.load(std::memory_order_seq_cst))) {
+    std::lock_guard<std::mutex> Wake(PauseLock);
+    DrainCv.notify_one();
   }
+}
+
+void Runtime::safepointPoll() {
+  // Fast path: no pause requested — one seq_cst load, no shared writes.
+  if (M4J_LIKELY(!PauseActive.load(std::memory_order_seq_cst)))
+    return;
+  JavaThread *Thread = JavaThread::currentOrNull();
+  const bool ParkClaim = Thread && Thread->CriticalDepth > 0;
+  if (ParkClaim)
+    CriticalCount.fetch_sub(1, std::memory_order_seq_cst);
+  static support::Counter &Blocks =
+      support::Metrics::counter("rt/gc/safepoint_blocks");
+  Blocks.add();
+  std::unique_lock<std::mutex> Guard(PauseLock);
+  // The collector may be waiting on exactly the decrement above.
+  DrainCv.notify_one();
+  ResumeCv.wait(Guard, [this] {
+    return !PauseActive.load(std::memory_order_seq_cst);
+  });
+  // Re-claim under PauseLock: no new pause can begin before we do (the
+  // pinned buffers this thread holds stayed valid throughout — pins block
+  // sweep and compaction; only payload access had to stop).
+  if (ParkClaim)
+    CriticalCount.fetch_add(1, std::memory_order_seq_cst);
 }
 
 void Runtime::beginPause() {
+  // A collector that is itself inside a critical section (a mutator whose
+  // allocation failed under callNative's bracket and now collects) parks
+  // its own claim for the duration of the pause: it sits at a safepoint
+  // by definition. endPause restores the claim. Without this, the thread
+  // would deadlock waiting for its own critical section to drain.
+  JavaThread *Self = JavaThread::currentOrNull();
+  const bool ParkedOwnClaim = Self && Self->CriticalDepth > 0;
+  if (ParkedOwnClaim) {
+    CriticalCount.fetch_sub(1, std::memory_order_seq_cst);
+    // Another collector may already be draining: hand it the decrement.
+    if (PauseActive.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> Wake(PauseLock);
+      DrainCv.notify_one();
+    }
+  }
+
   std::unique_lock<std::mutex> Guard(PauseLock);
-  PauseCv.wait(Guard, [this] {
-    return !PauseActive.load(std::memory_order_acquire);
+  // Serialise collectors: one pause at a time (queued collectors wait with
+  // the blocked mutators and are released by the owner's endPause).
+  ResumeCv.wait(Guard, [this] {
+    return !PauseActive.load(std::memory_order_seq_cst);
   });
-  PauseActive.store(true, std::memory_order_release);
-  // Wait for outstanding critical sections to drain. Re-signalled by
-  // exitCritical; poll with a timeout to cover the unlocked-decrement race.
-  PauseCv.wait_for(Guard, std::chrono::milliseconds(1), [this] {
-    return CriticalCount.load(std::memory_order_acquire) == 0;
+  const uint64_t RequestNanos = support::monotonicNanos();
+  PauseActive.store(true, std::memory_order_seq_cst);
+  // The rendezvous: wait for every thread inside a critical section to
+  // reach its safepoint (exitCritical, safepointPoll or the enterCritical
+  // backout — all publish their decrement with seq_cst and notify DrainCv
+  // under PauseLock). This thread is DrainCv's only possible waiter: it
+  // owns PauseActive. A plain condition wait suffices; no timeout crutch.
+  DrainCv.wait(Guard, [this] {
+    return CriticalCount.load(std::memory_order_seq_cst) == 0;
   });
-  while (CriticalCount.load(std::memory_order_acquire) != 0)
-    PauseCv.wait_for(Guard, std::chrono::milliseconds(1), [this] {
-      return CriticalCount.load(std::memory_order_acquire) == 0;
-    });
+  const uint64_t ReachedNanos = support::monotonicNanos();
+
+  // Time-to-safepoint: how long the world took to actually stop after the
+  // pause was requested. The pause_nanos histogram (recorded around the
+  // whole collect window) is a superset of this.
+  static support::Histogram &TtspNanos =
+      support::Metrics::histogram("rt/gc/ttsp_nanos");
+  TtspNanos.record(ReachedNanos - RequestNanos);
+  if (support::obs::coldArmed())
+    support::FlightRecorder::record(
+        support::FlightKind::GcPhase,
+        static_cast<uint8_t>(support::GcFlightPhase::Ttsp), 0, RequestNanos,
+        ReachedNanos - RequestNanos);
 }
 
 void Runtime::endPause() {
+  JavaThread *Self = JavaThread::currentOrNull();
   std::lock_guard<std::mutex> Guard(PauseLock);
-  PauseActive.store(false, std::memory_order_release);
-  PauseCv.notify_all();
+  // Restore the claim beginPause parked, before any mutator can resume —
+  // no new pause can slip in between (PauseLock is held, and a beginPause
+  // already past its own-claim check waits for !PauseActive under it).
+  if (Self && Self->CriticalDepth > 0)
+    CriticalCount.fetch_add(1, std::memory_order_seq_cst);
+  PauseActive.store(false, std::memory_order_seq_cst);
+  // The one broadcast per pause: release every blocked mutator (and any
+  // queued collector) together.
+  ResumeCv.notify_all();
 }
 
 } // namespace mte4jni::rt

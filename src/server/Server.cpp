@@ -244,9 +244,15 @@ private:
             jni::jsize Len = Me.env().GetStringLength(Str);
             auto P = Me.env().GetStringCritical(Str, &IsCopy);
             uint64_t Acc = 0;
-            // Per-char checked scan (JNI-intensive style).
-            for (jni::jsize I = 0; I < Len; ++I)
+            // Per-char checked scan (JNI-intensive style). The strided
+            // checkpoint lets a requested GC pause run mid-scan instead
+            // of waiting out the whole critical section: the string stays
+            // pinned, so P is stable across the poll.
+            for (jni::jsize I = 0; I < Len; ++I) {
+              if ((I & 63) == 0)
+                S.runtime().safepointPoll();
               Acc += mte::load<const jni::jchar>(P + I);
+            }
             Me.env().ReleaseStringCritical(Str, P);
             return Acc;
           });

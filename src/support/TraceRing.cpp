@@ -256,6 +256,8 @@ const char *flightEventName(FlightKind Kind, uint8_t Arg) {
       return "GC.verify";
     case GcFlightPhase::Pause:
       return "GC.pause";
+    case GcFlightPhase::Ttsp:
+      return "GC.ttsp";
     case GcFlightPhase::kNumPhases:
       break;
     }

@@ -185,7 +185,13 @@ public:
           Nodes.push_back({});
           int32_t Cur = 0;
           jni::jsize I = 0;
+          uint32_t Tokens = 0;
           while (I < Len) {
+            // This scan holds a string critical for the whole document:
+            // checkpoint periodically so a requested GC pause is not
+            // stalled for the full parse (the string stays pinned).
+            if ((Tokens++ & 255) == 0)
+              Ctx.Thread.runtime().safepointPoll();
             if (At(I) != '<') {
               ++Nodes[static_cast<size_t>(Cur)].TextBytes;
               ++I;

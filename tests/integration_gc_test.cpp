@@ -38,14 +38,23 @@ TEST(GcIntegration, GcVerifyIsCleanWhileNativeHoldsTaggedArray) {
     jni::jboolean IsCopy;
     auto P = Main.env().GetIntArrayElements(Array, &IsCopy);
 
+    std::atomic<bool> GcDone{false};
     std::thread Gc([&] {
       S.runtime().attachCurrentThread("HeapTaskDaemon",
                                       rt::ThreadKind::GcSupport);
       // Correct §3.3 behaviour: support threads run with TCO set.
       mte::ThreadState::current().setTco(true);
       S.runtime().gc().collect();
+      GcDone.store(true);
       S.runtime().detachCurrentThread();
     });
+    // The body holds the callNative safepoint bracket, so the collector's
+    // pause can only run while this thread is parked at a checkpoint.
+    // The array stays pinned and tagged throughout — the §3.3 scenario.
+    while (!GcDone.load()) {
+      S.runtime().safepointPoll();
+      std::this_thread::yield();
+    }
     Gc.join();
 
     Main.env().ReleaseIntArrayElements(Array, P, 0);
@@ -71,12 +80,20 @@ TEST(GcIntegration, GcWithChecksEnabledFaultsSpuriously) {
     jni::jboolean IsCopy;
     auto P = Main.env().GetIntArrayElements(Array, &IsCopy);
 
+    std::atomic<bool> GcDone{false};
     std::thread Gc([&] {
       S.runtime().attachCurrentThread("BrokenDaemon",
                                       rt::ThreadKind::GcSupport);
       S.runtime().gc().collect();
+      GcDone.store(true);
       S.runtime().detachCurrentThread();
     });
+    // Park at the checkpoint so the (misconfigured) collector can pause
+    // the world while the array is still pinned and tagged.
+    while (!GcDone.load()) {
+      S.runtime().safepointPoll();
+      std::this_thread::yield();
+    }
     Gc.join();
 
     Main.env().ReleaseIntArrayElements(Array, P, 0);
@@ -174,6 +191,12 @@ TEST(GcIntegration, CriticalSectionHoldsOffGc) {
                              CyclesBefore);
 
                    Main.env().ReleasePrimitiveArrayCritical(Array, P, 0);
+                   // The callNative bracket still holds the world: park at
+                   // the checkpoint until the collector gets its pause.
+                   while (!GcFinished.load()) {
+                     S.runtime().safepointPoll();
+                     std::this_thread::yield();
+                   }
                    Gc.join();
                    EXPECT_TRUE(GcFinished.load());
                    return 0;

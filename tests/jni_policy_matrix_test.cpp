@@ -96,12 +96,14 @@ TEST_P(PolicyMatrixTest, GetPrimitiveArrayCriticalContract) {
     auto P = Main->env()
                  .GetPrimitiveArrayCritical(A, &IsCopy)
                  .cast<jbyte>();
-    EXPECT_EQ(S->runtime().criticalDepth(), 1u);
+    // callNative itself holds one critical claim (its body is the
+    // safepoint bracket), so the JNI critical nests to depth 2.
+    EXPECT_EQ(S->runtime().criticalDepth(), 2u);
     for (int I = 0; I < 48; ++I)
       EXPECT_EQ(mte::load<jbyte>(P + I), static_cast<jbyte>(I));
     mte::store<jbyte>(P + 7, 77);
     Main->env().ReleasePrimitiveArrayCritical(A, P.cast<void>(), 0);
-    EXPECT_EQ(S->runtime().criticalDepth(), 0u);
+    EXPECT_EQ(S->runtime().criticalDepth(), 1u);
     return 0;
   });
   EXPECT_EQ(rt::arrayData<jbyte>(A)[7], 77);
@@ -146,10 +148,11 @@ TEST_P(PolicyMatrixTest, GetStringCriticalContract) {
   rt::callNative(Main->thread(), rt::NativeKind::Regular, "use", [&] {
     jboolean IsCopy;
     auto P = Main->env().GetStringCritical(Str, &IsCopy);
-    EXPECT_EQ(S->runtime().criticalDepth(), 1u);
+    // Depth 2: callNative's safepoint bracket + the JNI critical.
+    EXPECT_EQ(S->runtime().criticalDepth(), 2u);
     EXPECT_EQ(mte::load(P), 'c');
     Main->env().ReleaseStringCritical(Str, P);
-    EXPECT_EQ(S->runtime().criticalDepth(), 0u);
+    EXPECT_EQ(S->runtime().criticalDepth(), 1u);
     return 0;
   });
 }

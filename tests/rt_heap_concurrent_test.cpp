@@ -17,6 +17,7 @@
 #include "mte4jni/mte/Instructions.h"
 #include "mte4jni/mte/MteSystem.h"
 #include "mte4jni/rt/Runtime.h"
+#include "mte4jni/rt/Trampoline.h"
 #include "mte4jni/support/Metrics.h"
 
 #include <gtest/gtest.h>
@@ -223,10 +224,11 @@ TEST(RtHeapConcurrent, AllocWhileBackgroundGcRuns) {
   C.Gc.BackgroundThread = true;
   C.Gc.IntervalMillis = 1;
   C.Gc.Parallelism = 2;
-  // Mutators run between pauses; the verify pass would read payloads they
-  // are free to write, which is a (documented) mutator-vs-verifier race
-  // this test must not trip TSan on.
-  C.Gc.VerifyObjectBodies = false;
+  // Body verification against live mutators: the safepoint handshake
+  // makes the stop-the-world window real, so the verify pass no longer
+  // races mutator payload writes (this was forced off before the
+  // handshake existed).
+  C.Gc.VerifyObjectBodies = true;
   Runtime RT(C);
 
   std::vector<std::thread> Threads;
@@ -241,6 +243,10 @@ TEST(RtHeapConcurrent, AllocWhileBackgroundGcRuns) {
           ASSERT_NE(Obj, nullptr);
           // ...plus unrooted garbage straight off the heap for the
           // concurrent sweep to reclaim (may fail near a GC cycle).
+          // Raw heap allocation bypasses the factory's critical bracket,
+          // so take one here: the zero-init write must not overlap the
+          // pause's verify reads.
+          ScopedCritical Bracket(RT);
           RT.heap().allocPrimArray(PrimType::Int, 8);
         }
         // Scope exit unroots the batch: it becomes sweep fodder.
@@ -257,6 +263,53 @@ TEST(RtHeapConcurrent, AllocWhileBackgroundGcRuns) {
       << "nothing rooted remains after the final collection";
   EXPECT_EQ(Stats.BytesLive, 0u);
   EXPECT_GT(RT.gc().completedCycles(), 0u);
+}
+
+TEST(RtHeapConcurrent, VerifyRacesCallNativePayloadWriters) {
+  // The safepoint-correctness test TSan actually exercises: a background
+  // collector with VerifyObjectBodies=true reads every live payload during
+  // its pause while mutator threads write payloads from inside
+  // rt::callNative bodies. The callNative bracket is the only thing
+  // ordering those writes against the verify reads — if the handshake has
+  // a hole (lost wakeup, store-buffering miss, backout race), TSan flags
+  // the payload bytes.
+  RuntimeConfig C;
+  C.Heap.CapacityBytes = 16 << 20;
+  C.Gc.BackgroundThread = true;
+  C.Gc.IntervalMillis = 1;
+  C.Gc.VerifyObjectBodies = true;
+  Runtime RT(C);
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < kThreads; ++T)
+    Threads.emplace_back([&, T] {
+      JavaThread &Self = RT.attachCurrentThread("writer");
+      HandleScope Scope(RT);
+      ObjectHeader *Mine = RT.newPrimArray(Scope, PrimType::Int, 256);
+      ASSERT_NE(Mine, nullptr);
+      for (unsigned Round = 0; Round < 600; ++Round) {
+        callNative(Self, NativeKind::Regular, "payload_writer", [&] {
+          int32_t *Data = arrayData<int32_t>(Mine);
+          for (unsigned I = 0; I < 256; ++I)
+            Data[I] = static_cast<int32_t>(Round * kThreads + T);
+          return 0;
+        });
+        // Garbage between writes keeps the sweep busy so pauses keep
+        // landing in the middle of the write traffic.
+        RT.newPrimArray(Scope, PrimType::Int, 16);
+        if ((Round & 63) == 0) {
+          HandleScope Churn(RT);
+          RT.newPrimArray(Churn, PrimType::Byte, 64);
+        }
+      }
+      RT.detachCurrentThread();
+    });
+  for (auto &Th : Threads)
+    Th.join();
+
+  RT.gc().stop();
+  EXPECT_GT(RT.gc().completedCycles(), 0u)
+      << "the collector must actually have verified against the writers";
 }
 
 TEST(RtHeapConcurrent, ParallelCollectMatchesSequentialSemantics) {
