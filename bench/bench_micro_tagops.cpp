@@ -56,6 +56,10 @@ void BM_SetTagRange(benchmark::State &State) {
     mte::setTagRange(P, Bytes);
   arena().deallocate(Buf);
   State.SetBytesProcessed(int64_t(State.iterations()) * int64_t(Bytes));
+  // Granules/s: the raw ns column is not comparable across the size sweep
+  // (fixed per-call overhead dominates the small rows); throughput is.
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(Bytes / mte::kGranuleSize));
 }
 BENCHMARK(BM_SetTagRange)->Range(16, 16 << 10);
 
@@ -148,6 +152,61 @@ void BM_CheckRangeScan(benchmark::State &State) {
   State.SetBytesProcessed(int64_t(State.iterations()) * int64_t(Bytes));
 }
 BENCHMARK(BM_CheckRangeScan)->Range(256, 256 << 10);
+
+/// Two-level fast path: a checked range over a uniformly-tagged buffer is
+/// resolved almost entirely from line summaries — one byte compare per 64
+/// granules, SIMD-swept. Arg is GRANULES (4096 = 64 KiB ... 262144 =
+/// 4 MiB); compare against BM_TagScanDispatch at the same granule count
+/// for the summary-vs-granule-sweep win (the >=10x acceptance gate).
+void BM_CheckRangeUniform(benchmark::State &State) {
+  mte::MteSystem::instance().setProcessCheckMode(mte::CheckMode::Sync);
+  mte::ThreadState::current().setTco(false);
+  uint64_t Granules = static_cast<uint64_t>(State.range(0));
+  uint64_t Bytes = Granules * mte::kGranuleSize;
+  void *Buf = arena().allocate(Bytes);
+  auto P = mte::TaggedPtr<void>::fromRaw(Buf, 11);
+  mte::setTagRange(P, Bytes); // publishes Uniform(11) line summaries
+  for (auto _ : State)
+    mte::checkReadRange(P.cast<const void>(), Bytes);
+  mte::clearTagRange(reinterpret_cast<uint64_t>(Buf), Bytes);
+  arena().deallocate(Buf);
+  mte::MteSystem::instance().setProcessCheckMode(mte::CheckMode::None);
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(Granules));
+}
+BENCHMARK(BM_CheckRangeUniform)->Arg(4096)->Arg(65536)->Arg(262144);
+
+/// Two-level WORST case: every line is Mixed (a foreign tag planted in
+/// its last granule), so each check drops to the packed-nibble kernels.
+/// Each iteration checks the first 63 granules of one line — never the
+/// whole line, so lines are never re-promoted and the fallback path stays
+/// hot. Guards the <=10% regression budget vs the old byte-shadow scan.
+void BM_CheckRangeMixed(benchmark::State &State) {
+  mte::MteSystem::instance().setProcessCheckMode(mte::CheckMode::Sync);
+  mte::ThreadState::current().setTco(false);
+  constexpr uint64_t kLines = 1024; // 64 Ki granules, 1 MiB
+  uint64_t Bytes = kLines * mte::kLineBytes;
+  void *Buf = arena().allocate(Bytes);
+  auto P = mte::TaggedPtr<void>::fromRaw(Buf, 11);
+  mte::setTagRange(P, Bytes);
+  for (uint64_t L = 0; L < kLines; ++L) // demote every line
+    mte::stg(mte::TaggedPtr<void>::fromRaw(
+        static_cast<uint8_t *>(Buf) + (L + 1) * mte::kLineBytes -
+            mte::kGranuleSize,
+        3));
+  uint64_t I = 0;
+  for (auto _ : State) {
+    auto Line = P.plusBytes(
+        static_cast<ptrdiff_t>((I++ & (kLines - 1)) * mte::kLineBytes));
+    mte::checkReadRange(Line.cast<const void>(),
+                        (mte::kLineGranules - 1) * mte::kGranuleSize);
+  }
+  mte::clearTagRange(reinterpret_cast<uint64_t>(Buf), Bytes);
+  arena().deallocate(Buf);
+  mte::MteSystem::instance().setProcessCheckMode(mte::CheckMode::None);
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(mte::kLineGranules - 1));
+}
+BENCHMARK(BM_CheckRangeMixed);
 
 /// Raw shadow-scan kernels over N granule tags: the byte loop the seed
 /// shipped vs the SWAR word scan vs the runtime-dispatched best kernel
@@ -338,6 +397,15 @@ public:
         continue;
       Report.addRow(R.benchmark_name(), R.GetAdjustedRealTime(), "ns",
                     static_cast<uint64_t>(R.iterations));
+      // Rows that SetItemsProcessed (granule counts) also get an explicit
+      // throughput row: ns columns are not comparable across a size sweep
+      // but granules/s are. Defensive lookup — the counter only exists
+      // when the benchmark reported items.
+      auto It = R.counters.find("items_per_second");
+      if (It != R.counters.end() && It->second.value > 0)
+        Report.addRow(R.benchmark_name() + "/granules_per_s",
+                      It->second.value, "items/s",
+                      static_cast<uint64_t>(R.iterations));
     }
     ConsoleReporter::ReportRuns(Runs);
   }

@@ -1,4 +1,4 @@
-//===- TagStorage.h - Shadow storage for granule tags --------------*- C++ -*-===//
+//===- TagStorage.h - Two-level shadow storage for granule tags ----*- C++ -*-===//
 //
 // Part of the MTE4JNI reproduction project.
 // SPDX-License-Identifier: MIT
@@ -7,9 +7,27 @@
 ///
 /// \file
 /// Real MTE keeps allocation tags in dedicated tag RAM for pages mapped
-/// with PROT_MTE. The simulator keeps one byte of shadow per 16-byte
-/// granule for every *registered* region; memory outside any registered
-/// region is unchecked, exactly like non-PROT_MTE pages on hardware.
+/// with PROT_MTE. The simulator keeps a TWO-LEVEL store per registered
+/// region; memory outside any registered region is unchecked, exactly
+/// like non-PROT_MTE pages on hardware.
+///
+///   * Level 0 — packed granule shadow: tags are 4 bits, so two granules
+///     share one shadow byte (even granule = low nibble, odd = high).
+///     This level is always authoritative and costs regionSize/32 bytes,
+///     half of the seed's byte-per-granule array.
+///   * Level 1 — per-line summaries: one byte per 64-granule (1 KiB)
+///     line, holding either Uniform(tag) (the value 0..15 itself) or
+///     kSummaryMixed. Real tag traffic is overwhelmingly uniform at line
+///     granularity (allocators colour whole objects), so bulk checks
+///     walk this level first: a uniformly-tagged buffer costs one byte
+///     compare per 64 granules — SWAR/AVX2-swept for large ranges — and
+///     only Mixed lines fall back to the packed nibble scan.
+///
+/// Maintenance invariants (see DESIGN.md §13 for the full race argument):
+/// a write covering a whole line publishes Uniform(tag) after its nibble
+/// fill; any narrower write demotes its line to Mixed (an atomic RMW,
+/// AFTER the nibble write); scans lazily re-promote a Mixed line found
+/// uniform via CAS + acquire + validating re-scan.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,12 +37,22 @@
 #include "mte4jni/mte/Tag.h"
 #include "mte4jni/support/Compiler.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 namespace mte4jni::mte {
+
+/// Summary-line geometry: one summary byte covers 64 granules (1 KiB).
+inline constexpr uint64_t kLineGranules = 64;
+inline constexpr unsigned kLineShift = 6;
+inline constexpr uint64_t kLineBytes = kLineGranules * kGranuleSize;
+
+/// Summary value meaning "consult the packed granule shadow". Tags are
+/// 0..15, so any value >= kNumTags is unambiguous.
+inline constexpr uint8_t kSummaryMixed = 0xFF;
 
 namespace detail {
 
@@ -36,30 +64,58 @@ namespace detail {
 /// without paying the MteSystem::instance() magic-static guard.
 extern std::atomic<uint64_t> RegionPublishEpoch;
 
-/// Reference byte-at-a-time shadow scan: first index in [0, Count) whose
-/// tag differs from \p Expected, or UINT64_MAX. Kept for equivalence tests
-/// and as the benchmark baseline for the vector scans below.
+// -- byte-array kernels ---------------------------------------------------
+// First index in [0, Count) whose byte differs from Expected, or
+// UINT64_MAX. These scan one byte per element: the summary sweep uses
+// them directly (one byte per 64-granule line), and the packed-nibble
+// kernels below reuse them over packed bytes with a both-nibbles pattern.
+
+/// Reference byte-at-a-time scan; equivalence-test baseline.
 uint64_t scanMismatchScalar(const uint8_t *Tags, uint64_t Count,
                             TagValue Expected);
 
-/// SWAR scan: compares 8 shadow granule-tags per uint64_t (replicated
-/// expected byte, XOR, first-nonzero-byte). Same contract as the scalar
-/// scan.
+/// SWAR scan: 8 bytes per uint64_t (replicated expected byte, XOR,
+/// first-nonzero-byte). Same contract as the scalar scan.
 uint64_t scanMismatchSwar(const uint8_t *Tags, uint64_t Count,
                           TagValue Expected);
 
-/// Dispatching scan used by TaggedRegion::findMismatch: AVX2 (when the
-/// build enabled it and the CPU has it) > SSE2 > SWAR.
+/// Dispatching byte scan: AVX2 (when the build enabled it and the CPU has
+/// it) > SSE2 > SWAR.
 uint64_t scanMismatch(const uint8_t *Tags, uint64_t Count, TagValue Expected);
 
-/// Which kernel scanMismatch dispatches to for \p Count granules:
-/// 0 = scalar, 1 = SWAR, 2 = SSE2, 3 = AVX2. Flight-recorder attribution
-/// records this next to each sampled range check.
+// -- packed-nibble kernels ------------------------------------------------
+// Scan Count granule tags starting at granule index FirstGranule of a
+// 2-tags-per-byte packed shadow. Returns the offset (in granules, relative
+// to FirstGranule) of the first tag != Expected, or UINT64_MAX. Odd edge
+// nibbles are peeled; the byte-aligned body compares both nibbles at once
+// via the byte kernels above with the pattern (Expected<<4)|Expected.
+
+/// Reference nibble-at-a-time scan; equivalence-test baseline.
+uint64_t scanMismatchPackedScalar(const uint8_t *Packed, uint64_t FirstGranule,
+                                  uint64_t Count, TagValue Expected);
+
+/// SWAR body (16 granules per uint64_t); kept addressable for benches and
+/// kernel-equivalence tests.
+uint64_t scanMismatchPackedSwar(const uint8_t *Packed, uint64_t FirstGranule,
+                                uint64_t Count, TagValue Expected);
+
+/// Dispatching packed scan (AVX2 = 64 granules/iteration > SSE2 > SWAR).
+uint64_t scanMismatchPacked(const uint8_t *Packed, uint64_t FirstGranule,
+                            uint64_t Count, TagValue Expected);
+
+/// Which byte kernel scanMismatch dispatches to for \p Count bytes:
+/// 0 = scalar, 1 = SWAR, 2 = SSE2, 3 = AVX2.
 unsigned scanKernelFor(uint64_t Count);
+
+/// Flight-recorder attribution for a range check over \p Granules
+/// granules: 4 = summary-assisted two-level walk (ranges spanning at
+/// least one full line), otherwise the packed-kernel id per
+/// scanKernelFor of the packed byte count.
+unsigned checkKernelFor(uint64_t Granules);
 
 } // namespace detail
 
-/// Shadow tags for one contiguous registered (PROT_MTE) region.
+/// Two-level shadow tags for one contiguous registered (PROT_MTE) region.
 class TaggedRegion {
 public:
   TaggedRegion(uint64_t Begin, uint64_t Size);
@@ -70,50 +126,87 @@ public:
 
   bool contains(uint64_t Addr) const { return Addr >= Begin && Addr < End; }
 
-  /// Tag of the granule containing \p Addr.
+  /// Tag of the granule containing \p Addr: one packed-byte load plus a
+  /// nibble select.
   M4J_ALWAYS_INLINE TagValue tagAt(uint64_t Addr) const {
-    return std::atomic_ref<const uint8_t>(Tags[granuleIndex(Addr, Begin)])
-        .load(std::memory_order_relaxed);
+    uint64_t G = granuleIndex(Addr, Begin);
+    uint8_t Byte = std::atomic_ref<const uint8_t>(Packed[G >> 1])
+                       .load(std::memory_order_relaxed);
+    return (G & 1) ? static_cast<TagValue>(Byte >> 4)
+                   : static_cast<TagValue>(Byte & 0xF);
   }
 
-  /// Sets the tag of the granule containing \p Addr.
-  void setTagAt(uint64_t Addr, TagValue Tag) {
-    std::atomic_ref<uint8_t>(Tags[granuleIndex(Addr, Begin)])
-        .store(Tag & 0xF, std::memory_order_relaxed);
-  }
+  /// Sets the tag of the granule containing \p Addr: a CAS loop on the
+  /// shared packed byte (the sibling granule's nibble must survive
+  /// concurrent writers), then a demote of the line summary to Mixed.
+  void setTagAt(uint64_t Addr, TagValue Tag);
 
   /// Sets all granules overlapping [From, To) to \p Tag; returns the number
-  /// of granules written. Clamps to the region. Bulk path: a plain
-  /// vectorised fill — on hardware STG retires at store speed, so the
-  /// simulator must not pay more than a byte store per granule either.
+  /// of granules written. Clamps to the region. Bulk path: boundary nibbles
+  /// CAS, interior packed bytes memset — on hardware STG retires at store
+  /// speed, so the simulator must not pay more than a half-byte store per
+  /// granule — then wholly-covered lines publish Uniform(tag) in O(lines)
+  /// and partial edge lines demote to Mixed.
   uint64_t setTagRange(uint64_t From, uint64_t To, TagValue Tag);
 
   /// Scans granules [FirstIdx, LastIdx] for any tag != \p Expected;
   /// returns the index of the first mismatch, or UINT64_MAX when all
   /// match. Bulk analog of per-access checks for memcpy-style transfers.
+  /// Walks line summaries first (one compare per uniform line, SWAR/SIMD
+  /// over summary bytes for multi-line spans) and packed-scans only Mixed
+  /// lines, lazily re-promoting any it proves uniform.
   uint64_t findMismatch(uint64_t FirstIdx, uint64_t LastIdx,
                         TagValue Expected) const;
 
   /// Number of granules overlapping [From, To) whose tag is nonzero,
   /// clamped to the region. Diagnostic for the deferred tag-clear path:
-  /// with TagAllocator's lingering slots, shadow bytes stay nonzero after
-  /// release until a reclaim trigger fires, and tests use this to assert a
-  /// whole payload (not just its first granule) was reclaimed.
+  /// with TagAllocator's lingering slots, shadow nibbles stay nonzero
+  /// after release until a reclaim trigger fires, and tests use this to
+  /// assert a whole payload (not just its first granule) was reclaimed.
   uint64_t countTagged(uint64_t From, uint64_t To) const;
 
   uint64_t granuleCount() const { return NumGranules; }
+  uint64_t lineCount() const { return NumLines; }
 
-  /// Raw shadow bytes (one per granule); for diagnostics/tests.
-  const uint8_t *tagArray() const { return Tags.get(); }
+  /// Level-0 footprint: packed granule shadow bytes (2 tags per byte).
+  uint64_t shadowBytes() const { return PackedBytes; }
+  /// Level-1 footprint: one summary byte per line.
+  uint64_t summaryBytes() const { return NumLines; }
+
+  /// Raw packed shadow (2 granule tags per byte); diagnostics/tests.
+  const uint8_t *packedTags() const { return Packed.get(); }
+  /// Raw line summaries (tag value 0..15 = Uniform, kSummaryMixed);
+  /// diagnostics/tests.
+  const uint8_t *lineSummaries() const { return Summary.get(); }
 
 private:
+  /// Granules actually present in line \p Line (the region's last line
+  /// may be short).
+  uint64_t lineGranules(uint64_t Line) const {
+    uint64_t First = Line << kLineShift;
+    return std::min(kLineGranules, NumGranules - First);
+  }
+
+  /// CAS + validating re-scan promotion of a Mixed line the caller just
+  /// scanned as uniformly \p Tag. Logically const: summaries are a cache
+  /// over the authoritative packed level.
+  void promoteLineIfUniform(uint64_t Line, TagValue Tag) const;
+
+  /// Writes the single granule \p G's nibble via CAS on its shared byte.
+  void storeNibble(uint64_t G, TagValue Tag);
+
   uint64_t Begin;
   uint64_t End;
   uint64_t NumGranules;
-  // Plain bytes: single-granule accesses go through std::atomic_ref, bulk
-  // fill/scan through vectorisable loops. Concurrent tag store vs. tag
-  // check is racy on hardware too (either the old or new tag wins).
-  std::unique_ptr<uint8_t[]> Tags;
+  uint64_t NumLines;
+  uint64_t PackedBytes;
+  // Plain byte arrays: single-granule/summary accesses go through
+  // std::atomic_ref (CAS/RMW where a byte is shared), bulk fill/scan
+  // through vectorisable loops. Concurrent tag store vs. tag check is
+  // racy on hardware too (either the old or new tag wins); DESIGN.md §13
+  // gives the argument for why no *persistently* wrong summary survives.
+  std::unique_ptr<uint8_t[]> Packed;
+  std::unique_ptr<uint8_t[]> Summary;
 };
 
 /// An immutable snapshot of the registered regions. Lookups are a short

@@ -219,7 +219,7 @@ M4J_NOINLINE void checkRangeSlow(ThreadState &TS, uint64_t Bits,
   (IsWrite ? AM.CheckedStores : AM.CheckedLoads).add();
   AM.CheckedGranules.add(Granules);
   if (Lat.armed()) {
-    Lat.setArg(static_cast<uint8_t>(detail::scanKernelFor(Granules)));
+    Lat.setArg(static_cast<uint8_t>(detail::checkKernelFor(Granules)));
     Lat.setArg2(static_cast<uint32_t>(
         Granules > UINT32_MAX ? UINT32_MAX : Granules));
   }
@@ -258,7 +258,7 @@ M4J_ALWAYS_INLINE void checkRange(uint64_t Bits, uint64_t Bytes,
                      Cached->begin());
     uint64_t Granules = LastIdx - FirstIdx + 1;
     if (M4J_UNLIKELY(Lat.armed())) {
-      Lat.setArg(static_cast<uint8_t>(detail::scanKernelFor(Granules)));
+      Lat.setArg(static_cast<uint8_t>(detail::checkKernelFor(Granules)));
       Lat.setArg2(static_cast<uint32_t>(
           Granules > UINT32_MAX ? UINT32_MAX : Granules));
     }

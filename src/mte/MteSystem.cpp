@@ -9,6 +9,7 @@
 
 #include "mte4jni/mte/ThreadState.h"
 #include "mte4jni/support/Logging.h"
+#include "mte4jni/support/Metrics.h"
 #include "mte4jni/support/Syscall.h"
 
 #include <algorithm>
@@ -61,6 +62,27 @@ RegionPin::~RegionPin() { Slot->store(Saved, std::memory_order_release); }
 void MteSystem::publishRegions(
     std::vector<std::shared_ptr<TaggedRegion>> NewRegions) {
   auto *NewList = new RegionList(std::move(NewRegions));
+  // Shadow-footprint gauges track the CURRENT region set (set, not add, so
+  // unregister and reset are reflected). shadow_bytes is the packed level
+  // only — regionSize/32 — which is what the CI RSS assertion checks;
+  // summary_bytes is the level-1 overhead on top.
+  {
+    static support::Gauge &ShadowBytes =
+        support::Metrics::gauge("mte/tagstore/shadow_bytes");
+    static support::Gauge &SummaryBytes =
+        support::Metrics::gauge("mte/tagstore/summary_bytes");
+    static support::Gauge &RegionBytes =
+        support::Metrics::gauge("mte/tagstore/region_bytes");
+    uint64_t Shadow = 0, Summaries = 0, Covered = 0;
+    for (const auto &Region : NewList->regions()) {
+      Shadow += Region->shadowBytes();
+      Summaries += Region->summaryBytes();
+      Covered += Region->size();
+    }
+    ShadowBytes.set(Shadow);
+    SummaryBytes.set(Summaries);
+    RegionBytes.set(Covered);
+  }
   const RegionList *Old =
       RegionsSnapshot.exchange(NewList, std::memory_order_seq_cst);
   // Bump AFTER the swap: a reader that still observed the pre-bump epoch

@@ -10,6 +10,13 @@
 // stays at the baseline ISA. detail::scanMismatch only calls in here after
 // __builtin_cpu_supports("avx2") confirms the host can execute it.
 //
+// With the two-level store this one byte kernel serves BOTH levels: a
+// summary sweep compares one byte per 64-granule line (so each 32-byte
+// vector covers 2048 granules), and the packed-nibble kernels run it over
+// the 2-tags-per-byte shadow with the pattern (tag<<4)|tag — 64 granules
+// per vector. No nibble-specific AVX2 code is needed: every expected-tag
+// pattern is byte-replicable in both encodings.
+//
 //===----------------------------------------------------------------------===//
 
 #include "mte4jni/mte/TagStorage.h"

@@ -199,7 +199,10 @@ uint64_t JavaHeap::allocSlow(uint64_t Size, unsigned Shard,
       // Bulk-scrub the whole buffer's colours in ONE st2g-style range
       // write, so per-object tagging from this TLAB never pays a
       // stale-tag cleanup (allocation-time tag cost amortises over the
-      // refill, cf. the batching result in PAPERS.md).
+      // refill, cf. the batching result in PAPERS.md). With the
+      // two-level store this also publishes Uniform(0) summaries for
+      // every line the TLAB covers in O(lines), which is what keeps
+      // later bulk checks over fresh buffers on the summary fast path.
       if (Config.TagOnAlloc)
         mte::clearTagRange(TlabStart, TlabEnd - TlabStart);
       Tlab &T = Tlabs[Shard];

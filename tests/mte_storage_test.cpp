@@ -51,6 +51,26 @@ TEST_F(MteStorageTest, SetTagRangeClampsToRegion) {
   EXPECT_EQ(Region.tagAt(Region.begin()), 0);
 }
 
+TEST_F(MteStorageTest, TwoLevelGeometry) {
+  // 16 granules: one (short) line, 8 packed bytes — half the seed's
+  // byte-per-granule footprint.
+  alignas(16) static uint8_t Buf[256];
+  TaggedRegion Region(reinterpret_cast<uint64_t>(Buf), 256);
+  EXPECT_EQ(Region.shadowBytes(), 8u);
+  EXPECT_EQ(Region.summaryBytes(), 1u);
+  EXPECT_EQ(Region.lineCount(), 1u);
+
+  // Whole-region fill publishes a Uniform summary even for a short line;
+  // a narrower write demotes it.
+  Region.setTagRange(Region.begin(), Region.end(), 0xB);
+  EXPECT_EQ(Region.lineSummaries()[0], 0xB);
+  Region.setTagAt(Region.begin(), 0xB);
+  EXPECT_EQ(Region.lineSummaries()[0], kSummaryMixed);
+  EXPECT_EQ(Region.findMismatch(0, 15, 0xB), UINT64_MAX);
+  // The full-line scan proved the line uniform and lazily re-promoted it.
+  EXPECT_EQ(Region.lineSummaries()[0], 0xB);
+}
+
 TEST_F(MteStorageTest, FindMismatch) {
   alignas(16) static uint8_t Buf[128];
   TaggedRegion Region(reinterpret_cast<uint64_t>(Buf), 128);

@@ -1,0 +1,339 @@
+//===- mte_tagstore_twolevel_test.cpp - Two-level tag store properties ----------===//
+//
+// Part of the MTE4JNI reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Coverage the two-level store's correctness rests on:
+//
+//   * a randomized equivalence test driving setTagAt / setTagRange /
+//     findMismatch / countTagged against a plain byte-per-granule
+//     reference model — the seed's storage layout — over a region whose
+//     granule count is deliberately NOT a line multiple;
+//   * packed-nibble kernel equivalence (SWAR and dispatch vs the scalar
+//     reference) across every dispatch-size bucket, both start parities,
+//     and planted mismatches at edge/body nibbles;
+//   * summary maintenance: whole-line fills publish Uniform, narrower
+//     writes demote, scans lazily re-promote;
+//   * a ThreadSanitizer-facing test where concurrent writers hammer
+//     ADJACENT granules sharing one packed shadow byte (the nibble-CAS
+//     path) while readers load tags — the exact interleaving the CAS loop
+//     exists for.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mte4jni/mte/TagStorage.h"
+#include "mte4jni/support/Metrics.h"
+#include "mte4jni/support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace mte4jni::mte;
+namespace support = mte4jni::support;
+
+// 300 granules = 4 full lines + a 44-granule tail line, odd packed-byte
+// count — exercises every geometry edge at once.
+constexpr uint64_t kGranules = 300;
+constexpr uint64_t kBytes = kGranules * kGranuleSize;
+
+struct RegionFixture {
+  alignas(16) uint8_t Buf[kBytes];
+};
+
+//===----------------------------------------------------------------------===//
+// Randomized equivalence against the byte-per-granule reference model
+//===----------------------------------------------------------------------===//
+
+TEST(TagStoreTwoLevel, RandomizedEquivalenceVsReferenceModel) {
+  static RegionFixture F;
+  TaggedRegion Region(reinterpret_cast<uint64_t>(F.Buf), kBytes);
+  std::vector<uint8_t> Ref(kGranules, 0); // one tag byte per granule
+
+  auto refFindMismatch = [&](uint64_t First, uint64_t Last,
+                             TagValue Expected) -> uint64_t {
+    for (uint64_t G = First; G <= Last; ++G)
+      if (Ref[G] != Expected)
+        return G;
+    return UINT64_MAX;
+  };
+  auto refCountTagged = [&](uint64_t FirstG, uint64_t LastG) -> uint64_t {
+    uint64_t N = 0;
+    for (uint64_t G = FirstG; G <= LastG; ++G)
+      N += Ref[G] != 0;
+    return N;
+  };
+
+  support::Xoshiro256 R(0x2d14e8a1u);
+  const uint64_t Base = Region.begin();
+  for (int Iter = 0; Iter < 20000; ++Iter) {
+    switch (R.nextBelow(4)) {
+    case 0: { // single-granule write (demotes its line)
+      uint64_t G = R.nextBelow(kGranules);
+      TagValue T = static_cast<TagValue>(R.nextBelow(kNumTags));
+      Region.setTagAt(Base + G * kGranuleSize + R.nextBelow(kGranuleSize), T);
+      Ref[G] = T;
+      break;
+    }
+    case 1: { // range write (publishes uniform lines / demotes edges)
+      uint64_t A = R.nextBelow(kGranules);
+      uint64_t B = R.nextBelow(kGranules);
+      if (A > B)
+        std::swap(A, B);
+      TagValue T = static_cast<TagValue>(R.nextBelow(kNumTags));
+      uint64_t Written = Region.setTagRange(Base + A * kGranuleSize,
+                                            Base + (B + 1) * kGranuleSize, T);
+      ASSERT_EQ(Written, B - A + 1);
+      for (uint64_t G = A; G <= B; ++G)
+        Ref[G] = T;
+      break;
+    }
+    case 2: { // bulk check (summary walk + packed fallback + promotion)
+      uint64_t A = R.nextBelow(kGranules);
+      uint64_t B = R.nextBelow(kGranules);
+      if (A > B)
+        std::swap(A, B);
+      TagValue T = static_cast<TagValue>(R.nextBelow(kNumTags));
+      ASSERT_EQ(Region.findMismatch(A, B, T), refFindMismatch(A, B, T))
+          << "iter " << Iter << " range [" << A << "," << B << "] tag "
+          << unsigned(T);
+      break;
+    }
+    default: { // diagnostic count
+      uint64_t A = R.nextBelow(kGranules);
+      uint64_t B = R.nextBelow(kGranules);
+      if (A > B)
+        std::swap(A, B);
+      ASSERT_EQ(Region.countTagged(Base + A * kGranuleSize,
+                                   Base + (B + 1) * kGranuleSize),
+                refCountTagged(A, B))
+          << "iter " << Iter << " range [" << A << "," << B << "]";
+      break;
+    }
+    }
+    // Every granule stays individually readable through the packed level.
+    if (Iter % 997 == 0) {
+      for (uint64_t G = 0; G < kGranules; ++G)
+        ASSERT_EQ(Region.tagAt(Base + G * kGranuleSize), Ref[G]);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Packed-nibble kernels vs the scalar reference
+//===----------------------------------------------------------------------===//
+
+TEST(TagStoreTwoLevel, PackedKernelEquivalence) {
+  // Sizes straddle every dispatch threshold of the underlying byte
+  // kernels (SWAR < 16 packed bytes <= SSE2 < 32 <= AVX2), in granules.
+  const uint64_t Sizes[] = {0,  1,  2,  3,  7,  8,  15, 16,  17,  31,  32,
+                            33, 63, 64, 65, 96, 127, 128, 129, 255, 1024};
+  support::Xoshiro256 R(0x51ce9bb3u);
+  std::vector<uint8_t> Packed(1024); // 2048 granules
+
+  for (int Round = 0; Round < 200; ++Round) {
+    for (uint8_t &B : Packed)
+      B = static_cast<uint8_t>(R.next());
+    TagValue Expected = static_cast<TagValue>(R.nextBelow(kNumTags));
+    for (uint64_t Count : Sizes) {
+      for (uint64_t Parity = 0; Parity < 2; ++Parity) {
+        uint64_t First = R.nextBelow(64) * 2 + Parity;
+        uint64_t Want = detail::scanMismatchPackedScalar(Packed.data(), First,
+                                                         Count, Expected);
+        EXPECT_EQ(detail::scanMismatchPackedSwar(Packed.data(), First, Count,
+                                                 Expected),
+                  Want)
+            << "swar first=" << First << " count=" << Count;
+        EXPECT_EQ(
+            detail::scanMismatchPacked(Packed.data(), First, Count, Expected),
+            Want)
+            << "dispatch first=" << First << " count=" << Count;
+      }
+    }
+  }
+}
+
+TEST(TagStoreTwoLevel, PackedKernelPlantedMismatches) {
+  std::vector<uint8_t> Packed(512, 0x77); // all granules tag 7
+  const uint64_t Total = 1024;
+  // Plant a single foreign nibble at each interesting position and expect
+  // every kernel to locate exactly it.
+  for (uint64_t Bad : {uint64_t(0), uint64_t(1), uint64_t(2), uint64_t(31),
+                       uint64_t(32), uint64_t(63), uint64_t(64), uint64_t(509),
+                       uint64_t(1022), uint64_t(1023)}) {
+    uint8_t Saved = Packed[Bad >> 1];
+    Packed[Bad >> 1] = (Bad & 1) ? static_cast<uint8_t>((Saved & 0x0F) | 0x30)
+                                 : static_cast<uint8_t>((Saved & 0xF0) | 0x03);
+    for (uint64_t First : {uint64_t(0), uint64_t(1)}) {
+      uint64_t Want = Bad >= First ? Bad - First : UINT64_MAX;
+      EXPECT_EQ(detail::scanMismatchPackedScalar(Packed.data(), First,
+                                                 Total - First, 7),
+                Want);
+      EXPECT_EQ(detail::scanMismatchPackedSwar(Packed.data(), First,
+                                               Total - First, 7),
+                Want);
+      EXPECT_EQ(
+          detail::scanMismatchPacked(Packed.data(), First, Total - First, 7),
+          Want);
+    }
+    Packed[Bad >> 1] = Saved;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Summary maintenance: publish / demote / lazy promote
+//===----------------------------------------------------------------------===//
+
+TEST(TagStoreTwoLevel, SummaryPublishDemotePromote) {
+  static RegionFixture F;
+  TaggedRegion Region(reinterpret_cast<uint64_t>(F.Buf), kBytes);
+  EXPECT_EQ(Region.lineCount(), 5u);            // 4 full + 44-granule tail
+  EXPECT_EQ(Region.shadowBytes(), kGranules / 2);
+  EXPECT_EQ(Region.summaryBytes(), 5u);
+
+  // Fresh region: every line Uniform(0).
+  for (uint64_t L = 0; L < Region.lineCount(); ++L)
+    EXPECT_EQ(Region.lineSummaries()[L], 0);
+
+  // Whole-region fill publishes Uniform(9) everywhere, tail included.
+  Region.setTagRange(Region.begin(), Region.end(), 9);
+  for (uint64_t L = 0; L < Region.lineCount(); ++L)
+    EXPECT_EQ(Region.lineSummaries()[L], 9);
+
+  // A single-granule write demotes exactly its line.
+  uint64_t Demotes = support::Metrics::counter("mte/tagstore/line_demote")
+                         .value();
+  Region.setTagAt(Region.begin() + 70 * kGranuleSize, 9); // line 1, same tag
+  EXPECT_EQ(Region.lineSummaries()[1], kSummaryMixed);
+  EXPECT_EQ(Region.lineSummaries()[0], 9);
+  EXPECT_EQ(Region.lineSummaries()[2], 9);
+  EXPECT_GT(support::Metrics::counter("mte/tagstore/line_demote").value(),
+            Demotes);
+
+  // A full scan finds the line still uniformly 9 and re-promotes it.
+  uint64_t Promotes = support::Metrics::counter("mte/tagstore/line_promote")
+                          .value();
+  EXPECT_EQ(Region.findMismatch(0, kGranules - 1, 9), UINT64_MAX);
+  EXPECT_EQ(Region.lineSummaries()[1], 9);
+  EXPECT_GT(support::Metrics::counter("mte/tagstore/line_promote").value(),
+            Promotes);
+
+  // A genuinely mixed line stays Mixed across scans (no false promote)...
+  Region.setTagAt(Region.begin() + 130 * kGranuleSize, 4); // line 2
+  EXPECT_EQ(Region.findMismatch(0, kGranules - 1, 9), 130u);
+  EXPECT_EQ(Region.lineSummaries()[2], kSummaryMixed);
+  // ...and scanning around the foreign granule succeeds via packed scans.
+  EXPECT_EQ(Region.findMismatch(128, 129, 9), UINT64_MAX);
+  EXPECT_EQ(Region.findMismatch(131, 191, 9), UINT64_MAX);
+  EXPECT_EQ(Region.findMismatch(130, 130, 4), UINT64_MAX);
+
+  // Partial-line range writes demote their edge lines.
+  Region.setTagRange(Region.begin() + 200 * kGranuleSize,
+                     Region.begin() + 220 * kGranuleSize, 2); // inside line 3
+  EXPECT_EQ(Region.lineSummaries()[3], kSummaryMixed);
+}
+
+TEST(TagStoreTwoLevel, UniformAndMixedCountersMove) {
+  static RegionFixture F;
+  TaggedRegion Region(reinterpret_cast<uint64_t>(F.Buf), kBytes);
+  Region.setTagRange(Region.begin(), Region.end(), 5);
+
+  uint64_t Uniform =
+      support::Metrics::counter("mte/tagstore/uniform_hit").value();
+  EXPECT_EQ(Region.findMismatch(0, kGranules - 1, 5), UINT64_MAX);
+  EXPECT_GE(support::Metrics::counter("mte/tagstore/uniform_hit").value(),
+            Uniform + 5); // all 5 lines passed on summaries alone
+
+  Region.setTagAt(Region.begin(), 5); // demote line 0 (tag unchanged)
+  uint64_t Mixed =
+      support::Metrics::counter("mte/tagstore/mixed_fallback").value();
+  EXPECT_EQ(Region.findMismatch(0, 63, 5), UINT64_MAX);
+  EXPECT_GE(support::Metrics::counter("mte/tagstore/mixed_fallback").value(),
+            Mixed + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Adjacent-granule nibble CAS under concurrency (TSan target)
+//===----------------------------------------------------------------------===//
+
+TEST(TagStoreTwoLevel, AdjacentGranuleWritersShareAByte) {
+  alignas(16) static uint8_t Buf[kLineBytes];
+  TaggedRegion Region(reinterpret_cast<uint64_t>(Buf), kLineBytes);
+  const uint64_t Base = Region.begin();
+  constexpr int kIters = 20000;
+
+  // Granules 6 and 7 share packed byte 3: two writers CAS opposite
+  // nibbles of one byte while readers load both tags. A lost update (the
+  // bug the CAS loop prevents) would surface as a stale/zero tag below;
+  // TSan would flag any non-atomic access to the shared byte.
+  std::thread Even([&] {
+    for (int I = 0; I < kIters; ++I)
+      Region.setTagAt(Base + 6 * kGranuleSize,
+                      static_cast<TagValue>(1 + (I % 15)));
+  });
+  std::thread Odd([&] {
+    for (int I = 0; I < kIters; ++I)
+      Region.setTagAt(Base + 7 * kGranuleSize,
+                      static_cast<TagValue>(15 - (I % 15)));
+  });
+  std::thread Reader([&] {
+    for (int I = 0; I < kIters; ++I) {
+      TagValue A = Region.tagAt(Base + 6 * kGranuleSize);
+      TagValue B = Region.tagAt(Base + 7 * kGranuleSize);
+      // Any already-written value is a valid snapshot; zero is only legal
+      // before the first store lands.
+      ASSERT_LE(A, 15);
+      ASSERT_LE(B, 15);
+    }
+  });
+  Even.join();
+  Odd.join();
+  Reader.join();
+
+  // Both threads' final writes survived: neither nibble clobbered the
+  // other despite sharing a byte.
+  EXPECT_EQ(Region.tagAt(Base + 6 * kGranuleSize),
+            static_cast<TagValue>(1 + ((kIters - 1) % 15)));
+  EXPECT_EQ(Region.tagAt(Base + 7 * kGranuleSize),
+            static_cast<TagValue>(15 - ((kIters - 1) % 15)));
+  EXPECT_EQ(Region.tagAt(Base + 5 * kGranuleSize), 0);
+  EXPECT_EQ(Region.tagAt(Base + 8 * kGranuleSize), 0);
+}
+
+TEST(TagStoreTwoLevel, ConcurrentRangeWritersOwnDisjointRanges) {
+  // Two writers repeatedly retag ADJACENT ranges that split a packed byte
+  // (ranges [0,5) and [5,10) share byte 2): the boundary nibbles go
+  // through the CAS path, so neither owner's edge tag is lost.
+  alignas(16) static uint8_t Buf[kLineBytes];
+  TaggedRegion Region(reinterpret_cast<uint64_t>(Buf), kLineBytes);
+  const uint64_t Base = Region.begin();
+  constexpr int kIters = 5000;
+
+  std::thread A([&] {
+    for (int I = 0; I < kIters; ++I)
+      Region.setTagRange(Base, Base + 5 * kGranuleSize,
+                         static_cast<TagValue>(1 + (I % 7)));
+  });
+  std::thread B([&] {
+    for (int I = 0; I < kIters; ++I)
+      Region.setTagRange(Base + 5 * kGranuleSize, Base + 10 * kGranuleSize,
+                         static_cast<TagValue>(8 + (I % 7)));
+  });
+  A.join();
+  B.join();
+
+  TagValue TagA = static_cast<TagValue>(1 + ((kIters - 1) % 7));
+  TagValue TagB = static_cast<TagValue>(8 + ((kIters - 1) % 7));
+  for (uint64_t G = 0; G < 5; ++G)
+    EXPECT_EQ(Region.tagAt(Base + G * kGranuleSize), TagA) << G;
+  for (uint64_t G = 5; G < 10; ++G)
+    EXPECT_EQ(Region.tagAt(Base + G * kGranuleSize), TagB) << G;
+}
+
+} // namespace
