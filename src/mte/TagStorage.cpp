@@ -146,8 +146,9 @@ M4J_ALWAYS_INLINE uint8_t loadPackedByte(const uint8_t *Packed, uint64_t G) {
 /// Shared packed-scan shape: peel the odd leading/trailing nibbles (atomic
 /// loads — shared bytes), run \p ByteScan over the byte-aligned body with
 /// both nibbles replicated (plain loads — every body byte is wholly inside
-/// the scanned range, so under the granule-ownership model nobody else
-/// writes it mid-scan), and resolve which nibble of the offending byte
+/// the scanned range, and a checked range never overlaps a concurrently
+/// retagged granule by construction; see the exclusion argument in
+/// DESIGN.md §13), and resolve which nibble of the offending byte
 /// mismatched (the low nibble is the even — earlier — granule).
 template <uint64_t (*ByteScan)(const uint8_t *, uint64_t, TagValue)>
 M4J_ALWAYS_INLINE uint64_t scanPackedWith(const uint8_t *Packed,
@@ -394,8 +395,12 @@ uint64_t TaggedRegion::findMismatch(uint64_t FirstIdx, uint64_t LastIdx,
         // Fall through into the per-line path for the offending line.
       }
     }
-    uint64_t LineLast = std::min(LastIdx, LineFirst + lineGranules(Line) - 1);
+    // The summary sweep above may have advanced Line past the line G
+    // started in; recompute LineFirst from the (possibly advanced) Line
+    // BEFORE deriving LineLast, or a Mixed line reached by fall-through
+    // gets a LineLast below G and the packed-scan count underflows.
     LineFirst = Line << kLineShift;
+    uint64_t LineLast = std::min(LastIdx, LineFirst + lineGranules(Line) - 1);
     uint8_t S = std::atomic_ref<const uint8_t>(Summary[Line])
                     .load(std::memory_order_relaxed);
     if (S == Expected) {

@@ -10,16 +10,21 @@
 //   * a randomized equivalence test driving setTagAt / setTagRange /
 //     findMismatch / countTagged against a plain byte-per-granule
 //     reference model — the seed's storage layout — over a region whose
-//     granule count is deliberately NOT a line multiple;
+//     granule count is deliberately NOT a line multiple, with range
+//     endpoints biased toward line boundaries and a demote-then-restore
+//     op so the summary-sweep fall-through path is actually sampled;
+//   * a targeted regression test for the sweep fall-through computing
+//     LineLast from a stale LineFirst (out-of-bounds packed scan);
 //   * packed-nibble kernel equivalence (SWAR and dispatch vs the scalar
 //     reference) across every dispatch-size bucket, both start parities,
 //     and planted mismatches at edge/body nibbles;
 //   * summary maintenance: whole-line fills publish Uniform, narrower
 //     writes demote, scans lazily re-promote;
-//   * a ThreadSanitizer-facing test where concurrent writers hammer
+//   * ThreadSanitizer-facing tests: concurrent writers hammering
 //     ADJACENT granules sharing one packed shadow byte (the nibble-CAS
-//     path) while readers load tags — the exact interleaving the CAS loop
-//     exists for.
+//     path) while readers load tags, and a checked-range scan racing a
+//     setTagAt to a granule outside the range but sharing its trailing
+//     edge byte — the two legal-race shapes of the ownership model.
 //
 //===----------------------------------------------------------------------===//
 
@@ -72,8 +77,26 @@ TEST(TagStoreTwoLevel, RandomizedEquivalenceVsReferenceModel) {
 
   support::Xoshiro256 R(0x2d14e8a1u);
   const uint64_t Base = Region.begin();
-  for (int Iter = 0; Iter < 20000; ++Iter) {
+  // Range endpoints are biased toward line boundaries: the summary sweep
+  // in findMismatch only engages on line-aligned starts, and its
+  // fall-through into a Mixed line (the path that once read out of
+  // bounds, REVIEW item 1) needs a line-aligned range spanning several
+  // uniform lines before the Mixed one. Pure-uniform draws under-sample
+  // that shape.
+  auto drawGranule = [&]() -> uint64_t {
+    uint64_t G = R.nextBelow(kGranules);
     switch (R.nextBelow(4)) {
+    case 0:
+      return G & ~(kLineGranules - 1); // line-aligned start
+    case 1:
+      return std::min(kGranules - 1,
+                      (G | (kLineGranules - 1))); // line-end / tail edge
+    default:
+      return G;
+    }
+  };
+  for (int Iter = 0; Iter < 20000; ++Iter) {
+    switch (R.nextBelow(5)) {
     case 0: { // single-granule write (demotes its line)
       uint64_t G = R.nextBelow(kGranules);
       TagValue T = static_cast<TagValue>(R.nextBelow(kNumTags));
@@ -82,8 +105,12 @@ TEST(TagStoreTwoLevel, RandomizedEquivalenceVsReferenceModel) {
       break;
     }
     case 1: { // range write (publishes uniform lines / demotes edges)
-      uint64_t A = R.nextBelow(kGranules);
-      uint64_t B = R.nextBelow(kGranules);
+      uint64_t A = drawGranule();
+      // A quarter of range writes run to the end of the region — the
+      // TLAB-scrub / reclaim shape that leaves a uniform suffix, which
+      // is what lets a later check's summary sweep fall through into a
+      // demoted-but-matching line with nothing mismatching behind it.
+      uint64_t B = R.nextBelow(4) == 0 ? kGranules - 1 : drawGranule();
       if (A > B)
         std::swap(A, B);
       TagValue T = static_cast<TagValue>(R.nextBelow(kNumTags));
@@ -95,14 +122,31 @@ TEST(TagStoreTwoLevel, RandomizedEquivalenceVsReferenceModel) {
       break;
     }
     case 2: { // bulk check (summary walk + packed fallback + promotion)
-      uint64_t A = R.nextBelow(kGranules);
-      uint64_t B = R.nextBelow(kGranules);
+      uint64_t A = drawGranule();
+      uint64_t B = drawGranule();
       if (A > B)
         std::swap(A, B);
-      TagValue T = static_cast<TagValue>(R.nextBelow(kNumTags));
+      // Half the checks expect the tag actually present at the range
+      // start: a fully random tag almost never survives past the first
+      // line, so it would leave the deep-walk paths (multi-line summary
+      // sweeps, fall-through into a contents-matching Mixed line)
+      // unexercised.
+      TagValue T = R.nextBelow(2) == 0
+                       ? static_cast<TagValue>(Ref[A])
+                       : static_cast<TagValue>(R.nextBelow(kNumTags));
       ASSERT_EQ(Region.findMismatch(A, B, T), refFindMismatch(A, B, T))
           << "iter " << Iter << " range [" << A << "," << B << "] tag "
           << unsigned(T);
+      break;
+    }
+    case 3: { // demote-then-restore: leaves the line Mixed with contents
+              // still uniform — the exact summary/content split the sweep
+              // fall-through has to cross correctly
+      uint64_t G = R.nextBelow(kGranules);
+      TagValue Old = Ref[G];
+      Region.setTagAt(Base + G * kGranuleSize,
+                      static_cast<TagValue>((Old + 1) & 0xF));
+      Region.setTagAt(Base + G * kGranuleSize, Old);
       break;
     }
     default: { // diagnostic count
@@ -239,6 +283,52 @@ TEST(TagStoreTwoLevel, SummaryPublishDemotePromote) {
   EXPECT_EQ(Region.lineSummaries()[3], kSummaryMixed);
 }
 
+// Regression (REVIEW item 1): when the summary sweep stops on a Mixed
+// line and falls through to the per-line path, LineLast must be derived
+// from the ADVANCED line's first granule. With the stale pre-sweep
+// LineFirst, LineLast landed below G and the packed-scan count
+// `LineLast - G + 1` underflowed to ~2^64 — an out-of-bounds read past
+// the packed shadow (caught by ASan) that could surface as a false tag
+// fault. The trigger shape: a line-aligned check spanning >= 2 leading
+// Uniform(Expected) lines, then a line demoted to Mixed whose contents
+// all still match Expected (so the in-bounds scan finds nothing and
+// keeps reading).
+TEST(TagStoreTwoLevel, FindMismatchSweepFallThroughMatchingMixedLine) {
+  static RegionFixture F;
+  TaggedRegion Region(reinterpret_cast<uint64_t>(F.Buf), kBytes);
+  const uint64_t Base = Region.begin();
+
+  // Uniform-fill the whole region (4 full lines + the 44-granule tail)
+  // with tag 5.
+  Region.setTagRange(Base, Region.end(), 5);
+  // Demote line 2, then restore its contents: summary Mixed, nibbles all 5.
+  Region.setTagAt(Base + 130 * kGranuleSize, 7);
+  Region.setTagAt(Base + 130 * kGranuleSize, 5);
+  ASSERT_EQ(Region.lineSummaries()[2], kSummaryMixed);
+
+  // Line-aligned check across lines 0..2: the sweep passes lines 0 and 1,
+  // stops on Mixed line 2, and the fall-through scan must cover exactly
+  // granules [128, 191].
+  EXPECT_EQ(Region.findMismatch(0, 191, 5), UINT64_MAX);
+
+  // Same shape with the check ending mid-way through the Mixed line.
+  EXPECT_EQ(Region.findMismatch(0, 150, 5), UINT64_MAX);
+
+  // And with a genuine mismatch after the matching Mixed line: the scan
+  // must resume past line 2 and report the real offender, not a bogus
+  // index from over-scanning.
+  Region.setTagAt(Base + 200 * kGranuleSize, 9); // line 3
+  EXPECT_EQ(Region.findMismatch(0, 255, 5), 200u);
+
+  // Line 2 was lazily re-promoted by the full-line scans above; demote it
+  // again and re-check over the whole region so the walk resumes past the
+  // fall-through line and still crosses the short 44-granule tail line.
+  Region.setTagAt(Base + 130 * kGranuleSize, 7);
+  Region.setTagAt(Base + 130 * kGranuleSize, 5);
+  Region.setTagAt(Base + 200 * kGranuleSize, 5); // heal line 3
+  EXPECT_EQ(Region.findMismatch(0, kGranules - 1, 5), UINT64_MAX);
+}
+
 TEST(TagStoreTwoLevel, UniformAndMixedCountersMove) {
   static RegionFixture F;
   TaggedRegion Region(reinterpret_cast<uint64_t>(F.Buf), kBytes);
@@ -304,6 +394,41 @@ TEST(TagStoreTwoLevel, AdjacentGranuleWritersShareAByte) {
             static_cast<TagValue>(15 - ((kIters - 1) % 15)));
   EXPECT_EQ(Region.tagAt(Base + 5 * kGranuleSize), 0);
   EXPECT_EQ(Region.tagAt(Base + 8 * kGranuleSize), 0);
+}
+
+TEST(TagStoreTwoLevel, CheckedRangeVsWriterSharingAnEdgeByte) {
+  // Race-model boundary (REVIEW item 2, DESIGN.md §13): a checked range
+  // may legally race with setTagAt on a granule OUTSIDE the range but in
+  // the same line — even one sharing the range's trailing packed byte.
+  // Only the EDGE nibbles of a scan touch shared bytes, and those loads
+  // are atomic; the plain-load body bytes lie wholly inside the checked
+  // range, which granule ownership guarantees nobody retags mid-check.
+  // Here the checker scans granules [0,30] (byte 15's low nibble is the
+  // atomic trailing edge) while a writer CASes granule 31 (byte 15's high
+  // nibble): TSan must stay quiet and the check must never fault.
+  alignas(16) static uint8_t Buf[kLineBytes];
+  TaggedRegion Region(reinterpret_cast<uint64_t>(Buf), kLineBytes);
+  const uint64_t Base = Region.begin();
+  constexpr int kIters = 20000;
+
+  Region.setTagRange(Base, Base + 31 * kGranuleSize, 7);
+
+  std::thread Writer([&] {
+    for (int I = 0; I < kIters; ++I)
+      Region.setTagAt(Base + 31 * kGranuleSize,
+                      static_cast<TagValue>(1 + (I % 15)));
+  });
+  std::thread Checker([&] {
+    for (int I = 0; I < kIters; ++I)
+      ASSERT_EQ(Region.findMismatch(0, 30, 7), UINT64_MAX) << "iter " << I;
+  });
+  Writer.join();
+  Checker.join();
+
+  for (uint64_t G = 0; G <= 30; ++G)
+    EXPECT_EQ(Region.tagAt(Base + G * kGranuleSize), 7) << G;
+  EXPECT_EQ(Region.tagAt(Base + 31 * kGranuleSize),
+            static_cast<TagValue>(1 + ((kIters - 1) % 15)));
 }
 
 TEST(TagStoreTwoLevel, ConcurrentRangeWritersOwnDisjointRanges) {
